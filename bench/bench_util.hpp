@@ -1,0 +1,33 @@
+// Shared helpers for the figure/table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace safelight::bench {
+
+/// Output directory for bench CSVs (created on demand).
+inline std::string out_dir() {
+  const std::string dir = env_string("SAFELIGHT_OUT", "safelight_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Experiment scale for benches: default preset unless overridden.
+inline Scale bench_scale() { return env_scale(); }
+
+/// Seed-count override (SAFELIGHT_SEEDS), with a per-bench default.
+inline std::size_t seed_count(std::size_t fallback) {
+  const auto v = env_int("SAFELIGHT_SEEDS", static_cast<std::int64_t>(fallback));
+  return v < 1 ? 1 : static_cast<std::size_t>(v);
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================ %s ================\n", title.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace safelight::bench

@@ -1,0 +1,54 @@
+// Susceptibility sweep on one model (paper §IV / Fig. 7, abbreviated).
+//
+// Usage: attack_susceptibility [cnn1|resnet18|vgg16v] [seeds]
+// Defaults: cnn1, 3 seeds, tiny scale (override with SAFELIGHT_SCALE).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/susceptibility.hpp"
+
+namespace sl = safelight;
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "cnn1";
+  const std::size_t seeds =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+  const sl::nn::ModelId id = sl::nn::model_id_from_string(model_name);
+  const sl::Scale scale = sl::env_scale() == sl::Scale::kDefault
+                              ? sl::Scale::kTiny  // examples stay fast
+                              : sl::env_scale();
+  const sl::core::ExperimentSetup setup = sl::core::experiment_setup(id, scale);
+
+  std::printf("SafeLight susceptibility: %s at %s scale, %zu seeds\n",
+              model_name.c_str(), sl::to_string(scale).c_str(), seeds);
+
+  sl::core::ModelZoo zoo;
+  sl::core::SusceptibilityOptions options;
+  options.seed_count = seeds;
+  options.verbose = true;
+  options.cache_dir = zoo.directory();
+
+  const sl::core::SusceptibilityReport report =
+      sl::core::run_susceptibility(setup, zoo, options);
+
+  std::printf("\nbaseline accuracy: %.2f%%\n\n",
+              report.baseline_accuracy * 100.0);
+  sl::core::TextTable table(
+      {"attack", "target", "fraction", "min", "median", "max", "worst drop"});
+  for (const auto& group : report.groups) {
+    table.add_row({sl::attack::to_string(group.vector),
+                   sl::attack::to_string(group.target),
+                   sl::core::pct(group.fraction),
+                   sl::core::pct(group.accuracy.min),
+                   sl::core::pct(group.accuracy.median),
+                   sl::core::pct(group.accuracy.max),
+                   sl::core::pct(report.baseline_accuracy -
+                                 group.accuracy.min)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Combined software + lightweight hardware mitigation (paper §VII:
+// "Our ongoing work is exploring how these software techniques can be
+// combined with lightweight hardware-based techniques").
+//
+// Sweeps the thermal-sentinel quarantine budget for both the Original and a
+// noise-aware robust model under a 5 % hotspot attack, showing that the two
+// defenses compose.
+//
+// Usage: hardware_mitigation [cnn1|resnet18|vgg16v] [robust_variant]
+
+#include <cstdio>
+#include <string>
+
+#include "accel/executor.hpp"
+#include "attacks/corruption.hpp"
+#include "core/report.hpp"
+#include "core/zoo.hpp"
+#include "nn/serialize.hpp"
+
+namespace sl = safelight;
+
+namespace {
+
+double attacked_accuracy(sl::nn::Sequential& model,
+                         const sl::core::ExperimentSetup& setup,
+                         const sl::nn::Dataset& eval_data,
+                         double spare_fraction, std::size_t seeds) {
+  const auto snapshot = sl::nn::snapshot_state(model);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    sl::nn::restore_state(model, snapshot);
+    sl::accel::WeightStationaryMapping mapping(model, setup.accelerator);
+    sl::attack::AttackScenario scenario;
+    scenario.vector = sl::attack::AttackVector::kHotspot;
+    scenario.target = sl::attack::AttackTarget::kBothBlocks;
+    scenario.fraction = 0.05;
+    scenario.seed = 9000 + s;
+    sl::attack::CorruptionConfig corruption;
+    corruption.quarantine.enabled = spare_fraction > 0.0;
+    corruption.quarantine.spare_bank_fraction = spare_fraction;
+    sl::attack::apply_attack(mapping, scenario, corruption);
+    sl::accel::OnnExecutor executor(setup.accelerator);
+    sum += executor.evaluate(model, eval_data);
+  }
+  sl::nn::restore_state(model, snapshot);
+  return sum / static_cast<double>(seeds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "cnn1";
+  const std::string variant_name = argc > 2 ? argv[2] : "l2+n3";
+  const sl::nn::ModelId id = sl::nn::model_id_from_string(model_name);
+  const sl::Scale scale = sl::env_scale() == sl::Scale::kDefault
+                              ? sl::Scale::kTiny
+                              : sl::env_scale();
+  const sl::core::ExperimentSetup setup = sl::core::experiment_setup(id, scale);
+
+  std::printf(
+      "SafeLight combined mitigation demo: %s (%s scale), robust variant "
+      "%s,\n5%% hotspot attack on CONV+FC\n\n",
+      model_name.c_str(), sl::to_string(scale).c_str(), variant_name.c_str());
+
+  sl::core::ModelZoo zoo;
+  auto original =
+      zoo.get_or_train(setup, sl::core::variant_by_name("Original"), true);
+  auto robust =
+      zoo.get_or_train(setup, sl::core::variant_by_name(variant_name), true);
+  const sl::nn::Dataset eval_data =
+      sl::core::make_test_data(setup).take(setup.eval_count);
+
+  sl::core::TextTable table({"spare banks", "Original",
+                             "software (" + variant_name + ")",
+                             "software + hardware"});
+  const std::size_t seeds = 3;
+  for (double spare : {0.0, 0.02, 0.05, 0.10}) {
+    const double orig_hw =
+        attacked_accuracy(*original, setup, eval_data, spare, seeds);
+    const double robust_hw =
+        attacked_accuracy(*robust, setup, eval_data, spare, seeds);
+    const double robust_sw_only =
+        spare == 0.0
+            ? robust_hw
+            : attacked_accuracy(*robust, setup, eval_data, 0.0, seeds);
+    table.add_row({sl::core::pct(spare), sl::core::pct(orig_hw),
+                   sl::core::pct(robust_sw_only), sl::core::pct(robust_hw)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "the defenses compose: noise-aware training absorbs the residual\n"
+      "sub-threshold corruption the sentinels cannot detect, and quarantine\n"
+      "removes the catastrophic cluster corruption training cannot absorb.\n");
+  return 0;
+}

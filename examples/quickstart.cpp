@@ -1,0 +1,130 @@
+// SafeLight quickstart: the attack mechanics of paper Figs. 1/4/5 on a
+// single MR bank, followed by an end-to-end train -> attack -> measure run
+// on a small CNN.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "attacks/corruption.hpp"
+#include "core/evaluation.hpp"
+#include "core/experiment_scale.hpp"
+#include "core/variants.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "photonics/mr_bank.hpp"
+
+namespace sl = safelight;
+
+namespace {
+
+void print_weights(const char* label, const std::vector<double>& w) {
+  std::printf("%-28s", label);
+  for (double v : w) std::printf(" %+6.3f", v);
+  std::printf("\n");
+}
+
+/// Paper Fig. 1(c)/4/5: a 3-MR bank multiplying [a1,a2,a3] by [w1,w2,w3].
+void bank_demo() {
+  std::printf("== MR bank demo (paper Figs. 1(c), 4, 5) ==\n");
+  sl::phot::MrGeometry geometry;  // CONV-block design, Q = 20k
+  const sl::phot::Microring reference(geometry, 1550.0);
+  // A 3-channel grid with the CONV block's per-channel spacing (FSR / 20),
+  // the configuration the paper's figures illustrate.
+  const sl::phot::WdmGrid grid(3, 1550.0, reference.fsr_nm() * 3.0 / 20.0);
+  sl::phot::MrBank bank(geometry, grid);
+
+  const std::vector<double> weights = {0.8, -0.5, 0.3};
+  const std::vector<double> activations = {0.9, 0.6, 0.4};
+  bank.set_weights(weights);
+
+  print_weights("nominal weights:", bank.nominal_weights());
+  print_weights("effective (no attack):", bank.effective_weights());
+  std::printf("dot([0.9,0.6,0.4]) = %.4f (ideal %.4f)\n\n",
+              bank.dot_product(activations),
+              0.8 * 0.9 - 0.5 * 0.6 + 0.3 * 0.4);
+
+  // Actuation attack on MR #2 (paper Fig. 4): ring parks off-resonance and
+  // its weight sticks near max magnitude.
+  bank.park_off_resonance(1);
+  print_weights("after actuation on MR2:", bank.effective_weights());
+  std::printf("dot becomes %.4f\n\n", bank.dot_product(activations));
+
+  // Thermal hotspot on the whole bank (paper Fig. 5): ~1 channel spacing of
+  // red shift makes each ring modulate its neighbor's wavelength.
+  bank.reset_attacks();
+  const double shift_per_k = reference.thermal_shift_nm(1.0);
+  const double delta_t = grid.spacing_nm() / shift_per_k;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    bank.set_temperature_delta(i, delta_t);
+  }
+  std::printf("hotspot: +%.1f K shifts every ring by one channel\n", delta_t);
+  print_weights("after hotspot:", bank.effective_weights());
+  std::printf("dot becomes %.4f\n\n", bank.dot_product(activations));
+}
+
+/// End-to-end: train CNN_1 (tiny scale), attack 10%% of all MRs, measure.
+void end_to_end_demo() {
+  std::printf("== End-to-end attack on CNN_1 (tiny scale) ==\n");
+  sl::core::ExperimentSetup setup =
+      sl::core::experiment_setup(sl::nn::ModelId::kCnn1, sl::Scale::kTiny);
+
+  auto model = sl::nn::make_model(setup.model, setup.model_config);
+  const sl::nn::Dataset train = sl::core::make_train_data(setup);
+  const sl::nn::Dataset test = sl::core::make_test_data(setup);
+  std::printf("training on %zu synthetic digits ...\n", train.size());
+  const auto history =
+      sl::nn::train_model(*model, train, test, setup.base_train);
+  std::printf("clean test accuracy: %.2f%%\n",
+              history.final_test_acc * 100.0);
+
+  sl::core::AttackEvaluator evaluator(setup, *model, "Original",
+                                      /*cache_dir=*/"");
+  const double baseline = evaluator.baseline_accuracy();
+  std::printf("accelerator baseline (DAC-conditioned): %.2f%%\n",
+              baseline * 100.0);
+
+  for (auto vector : {sl::attack::AttackVector::kActuation,
+                      sl::attack::AttackVector::kHotspot}) {
+    sl::attack::AttackScenario scenario;
+    scenario.vector = vector;
+    scenario.target = sl::attack::AttackTarget::kBothBlocks;
+    scenario.fraction = 0.10;
+    scenario.seed = 7;
+    const double acc = evaluator.evaluate_scenario(scenario);
+    std::printf("10%% %-9s attack: accuracy %.2f%% (drop %.2f%%)\n",
+                sl::attack::to_string(vector).c_str(), acc * 100.0,
+                (baseline - acc) * 100.0);
+  }
+
+  // Attack fingerprint: hotspot corruption tends to collapse predictions
+  // onto few classes; the confusion matrix makes that visible.
+  {
+    sl::accel::WeightStationaryMapping mapping(*model, setup.accelerator);
+    sl::attack::AttackScenario scenario;
+    scenario.vector = sl::attack::AttackVector::kHotspot;
+    scenario.target = sl::attack::AttackTarget::kBothBlocks;
+    scenario.fraction = 0.10;
+    scenario.seed = 7;
+    evaluator.restore_clean();
+    sl::attack::apply_attack(mapping, scenario);
+    const auto matrix = sl::nn::confusion_matrix(
+        *model, sl::core::make_test_data(setup).take(setup.eval_count));
+    std::printf(
+        "hotspot fingerprint: prediction collapse %.2f (1/%zu uniform, 1.0 "
+        "fully collapsed), balanced accuracy %.2f%%\n",
+        matrix.prediction_collapse(), matrix.num_classes(),
+        matrix.balanced_accuracy() * 100.0);
+    evaluator.restore_clean();
+  }
+}
+
+}  // namespace
+
+int main() {
+  bank_demo();
+  end_to_end_demo();
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "accel/arch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace safelight::accel {
+
+std::string to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kConv: return "CONV";
+    case BlockKind::kFc: break;
+  }
+  return "FC";
+}
+
+void BlockDims::validate() const {
+  require(units > 0 && banks_per_unit > 0 && mrs_per_bank > 0,
+          "BlockDims: all dimensions must be positive");
+}
+
+void AcceleratorConfig::validate() const {
+  conv.validate();
+  fc.validate();
+  conv_mr.validate();
+  fc_mr.validate();
+  encoding.validate();
+  require(center_wavelength_nm > 1000.0 && center_wavelength_nm < 2000.0,
+          "AcceleratorConfig: center wavelength must be near-IR");
+  require(dac_bits >= 2 && dac_bits <= 24,
+          "AcceleratorConfig: DAC bits out of range");
+  require(adc_bits >= 2 && adc_bits <= 24,
+          "AcceleratorConfig: ADC bits out of range");
+}
+
+const BlockDims& AcceleratorConfig::block(BlockKind kind) const {
+  return kind == BlockKind::kConv ? conv : fc;
+}
+
+const phot::MrGeometry& AcceleratorConfig::geometry(BlockKind kind) const {
+  return kind == BlockKind::kConv ? conv_mr : fc_mr;
+}
+
+phot::WdmGrid AcceleratorConfig::bank_grid(BlockKind kind) const {
+  const phot::Microring reference(geometry(kind), center_wavelength_nm);
+  return phot::WdmGrid(block(kind).mrs_per_bank, center_wavelength_nm,
+                       reference.fsr_nm());
+}
+
+AcceleratorConfig AcceleratorConfig::crosslight() {
+  AcceleratorConfig config;  // defaults are the paper-scale dimensions
+  config.fc_mr.q_factor = phot::kHighQ;
+  config.validate();
+  return config;
+}
+
+AcceleratorConfig AcceleratorConfig::scaled(std::size_t factor) {
+  require(factor >= 1, "AcceleratorConfig::scaled: factor must be >= 1");
+  AcceleratorConfig config = crosslight();
+  config.conv.units = std::max<std::size_t>(1, config.conv.units / factor);
+  config.fc.units = std::max<std::size_t>(1, config.fc.units / factor);
+  config.validate();
+  return config;
+}
+
+}  // namespace safelight::accel

@@ -1,0 +1,65 @@
+// CrossLight-style non-coherent ONN accelerator architecture (paper Fig. 3).
+//
+// The photonic substrate splits into a CONV block accelerating convolution
+// layers and an FC block accelerating fully-connected layers. Paper-scale
+// dimensions: CONV = 100 VDP units of 20x20 MRs, FC = 60 VDP units of
+// 150x150 MRs. `scaled()` shrinks both blocks proportionally for the
+// reduced-scale experiments while preserving the mapping pressure
+// (parameters-per-slot ratio) that drives the paper's multi-pass corruption
+// effect.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "photonics/converters.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/mr_bank.hpp"
+#include "photonics/wdm.hpp"
+
+namespace safelight::accel {
+
+enum class BlockKind { kConv, kFc };
+
+std::string to_string(BlockKind kind);
+
+struct BlockDims {
+  std::size_t units = 0;
+  std::size_t banks_per_unit = 0;  // VDP rows per unit
+  std::size_t mrs_per_bank = 0;    // WDM channels per bank
+
+  std::size_t bank_count() const { return units * banks_per_unit; }
+  std::size_t slot_count() const { return bank_count() * mrs_per_bank; }
+  void validate() const;
+};
+
+struct AcceleratorConfig {
+  BlockDims conv{100, 20, 20};
+  BlockDims fc{60, 150, 150};
+  /// Per-block MR designs: the FC block's dense WDM grid (150 channels per
+  /// FSR) requires a much higher loaded Q than the CONV block's 20 channels.
+  phot::MrGeometry conv_mr{};
+  phot::MrGeometry fc_mr{};
+  phot::WeightEncoding encoding{};
+  double center_wavelength_nm = 1550.0;
+  unsigned dac_bits = 10;
+  unsigned adc_bits = 8;
+
+  void validate() const;
+  const BlockDims& block(BlockKind kind) const;
+  const phot::MrGeometry& geometry(BlockKind kind) const;
+
+  /// WDM grid of one bank of `kind` (channel count = mrs_per_bank, spacing =
+  /// FSR / channels).
+  phot::WdmGrid bank_grid(BlockKind kind) const;
+
+  /// Paper-scale CrossLight configuration.
+  static AcceleratorConfig crosslight();
+
+  /// Proportionally reduced configuration: unit counts are divided by
+  /// `factor` (min 1 unit per block); per-unit bank/MR dimensions are kept
+  /// so bank-level attack semantics are unchanged.
+  static AcceleratorConfig scaled(std::size_t factor);
+};
+
+}  // namespace safelight::accel

@@ -1,0 +1,58 @@
+// First-order energy / latency model of the accelerator.
+//
+// CrossLight's pitch is performance-per-watt; this model gives SafeLight a
+// comparable accounting so benches can report the (unchanged) energy cost of
+// the software mitigations versus hypothetical hardware countermeasures.
+// Parameters follow the paper's §II.B device figures (EO ~4 uW/nm,
+// TO ~27 mW/FSR) and typical 28 nm mixed-signal converter energies.
+#pragma once
+
+#include <cstddef>
+
+#include "accel/arch.hpp"
+#include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
+
+namespace safelight::accel {
+
+/// MAC counts of one inference, split by block.
+struct MacCounts {
+  std::size_t conv_macs = 0;
+  std::size_t fc_macs = 0;
+
+  std::size_t total() const { return conv_macs + fc_macs; }
+};
+
+/// Walks the model with a sample input shape and counts MACs per block.
+MacCounts count_macs(nn::Sequential& model, const nn::Shape& input_shape);
+
+struct EnergyModel {
+  double laser_mw_per_channel = 1.0;
+  double laser_wall_plug_efficiency = 0.2;
+  double eo_actuation_uw_per_mr = 4.0;   // holding an imprint
+  double to_bias_mw_per_mr = 0.27;       // static thermal trim (1% FSR avg)
+  double dac_pj_per_conversion = 0.8;
+  double adc_pj_per_conversion = 2.6;
+  double pd_pj_per_sample = 0.2;
+  double clock_ghz = 5.0;                // symbol rate per bank
+};
+
+struct EnergyReport {
+  double latency_us = 0.0;
+  double laser_uj = 0.0;
+  double tuning_uj = 0.0;
+  double converter_uj = 0.0;
+  double detector_uj = 0.0;
+
+  double total_uj() const {
+    return laser_uj + tuning_uj + converter_uj + detector_uj;
+  }
+  double macs_per_nj(std::size_t macs) const;
+};
+
+/// Estimates one inference on the given accelerator configuration.
+EnergyReport estimate_inference(const MacCounts& macs,
+                                const AcceleratorConfig& config,
+                                const EnergyModel& model = {});
+
+}  // namespace safelight::accel

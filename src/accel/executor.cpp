@@ -1,0 +1,96 @@
+#include "accel/executor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace safelight::accel {
+
+OnnExecutor::OnnExecutor(AcceleratorConfig config, ExecutorOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+}
+
+void OnnExecutor::condition_weights(nn::Sequential& model) const {
+  if (!options_.quantize_weights) return;
+  const phot::Dac dac(
+      phot::QuantizerConfig{config_.dac_bits, -1.0, 1.0});
+  for (nn::Param* p : model.params()) {
+    if (p->kind == nn::ParamKind::kElectronic) continue;
+    float scale = p->value.abs_max();
+    if (scale == 0.0f) continue;
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const double normalized = p->value[i] / scale;
+      p->value[i] = static_cast<float>(dac.quantize(normalized) * scale);
+    }
+  }
+}
+
+namespace {
+
+bool layer_is_mapped(nn::Layer& layer) {
+  for (nn::Param* p : layer.params()) {
+    if (p->kind != nn::ParamKind::kElectronic) return true;
+  }
+  return false;
+}
+
+/// Which block computed this layer: conv weights -> CONV, else FC.
+BlockKind layer_block(nn::Layer& layer) {
+  for (nn::Param* p : layer.params()) {
+    if (p->kind == nn::ParamKind::kConvWeight) return BlockKind::kConv;
+  }
+  return BlockKind::kFc;
+}
+
+void quantize_activations(nn::Tensor& t, const phot::Adc& adc) {
+  float scale = t.abs_max();
+  if (scale == 0.0f) return;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double normalized = t[i] / scale;
+    t[i] = static_cast<float>(adc.quantize(normalized) * scale);
+  }
+}
+
+}  // namespace
+
+nn::Tensor OnnExecutor::forward(nn::Sequential& model,
+                                const nn::Tensor& x) const {
+  if (!options_.quantize_activations && !readout_hook_) {
+    return model.forward(x, /*train=*/false);
+  }
+  const phot::Adc adc(phot::QuantizerConfig{config_.adc_bits, -1.0, 1.0});
+  nn::Tensor h = x;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    nn::Layer& layer = model.layer(i);
+    h = layer.forward(h, /*train=*/false);
+    if (!layer_is_mapped(layer)) continue;
+    if (options_.quantize_activations) quantize_activations(h, adc);
+    if (readout_hook_) {
+      readout_hook_(h, layer_block(layer), h.abs_max());
+    }
+  }
+  return h;
+}
+
+double OnnExecutor::evaluate(nn::Sequential& model, const nn::Dataset& data,
+                             std::size_t batch_size) const {
+  require(data.size() > 0, "OnnExecutor::evaluate: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(data.size(), begin + batch_size);
+    auto [images, labels] = data.batch(begin, end);
+    const nn::Tensor logits = forward(model, images);
+    require(logits.rank() == 2, "OnnExecutor::evaluate: output must be [N,C]");
+    const std::size_t classes = logits.dim(1);
+    for (std::size_t n = 0; n < labels.size(); ++n) {
+      const float* row = logits.data() + n * classes;
+      const auto pred = static_cast<int>(
+          std::max_element(row, row + classes) - row);
+      if (pred == labels[n]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace safelight::accel

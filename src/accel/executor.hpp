@@ -1,0 +1,64 @@
+// Accelerator inference executor.
+//
+// The fast experiment path follows the paper's methodology: the simulator
+// "modif[ies] the models' parameters based on their mapping to the ONN
+// accelerator" and then runs inference. The executor owns the deployment
+// conditioning (per-tensor normalization + DAC-resolution quantization of
+// every MR-mapped weight) and, optionally, ADC-resolution quantization of
+// the photodetected partial sums after each mapped layer. With attacks
+// disabled the executor's output provably matches the pure software forward
+// pass within quantizer resolution (integration-tested).
+#pragma once
+
+#include <functional>
+
+#include "accel/arch.hpp"
+#include "nn/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace safelight::accel {
+
+/// Hook invoked after each MR-mapped layer's forward pass; used by attack
+/// models that corrupt the electronic read-out (e.g. compromised ADCs).
+/// Arguments: the layer's output tensor (mutable), the block that computed
+/// it, and the ADC full-scale magnitude chosen for the tensor.
+using ReadoutHook =
+    std::function<void(nn::Tensor&, BlockKind, float full_scale)>;
+
+struct ExecutorOptions {
+  bool quantize_weights = true;      // DAC resolution on imprinted weights
+  bool quantize_activations = false; // ADC resolution on mapped-layer outputs
+};
+
+class OnnExecutor {
+ public:
+  explicit OnnExecutor(AcceleratorConfig config, ExecutorOptions options = {});
+
+  const AcceleratorConfig& config() const { return config_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Emulates weight deployment onto the MR banks: each conv/linear weight
+  /// tensor is normalized by its abs-max and snapped to DAC resolution
+  /// (in place). Electronic parameters are untouched.
+  void condition_weights(nn::Sequential& model) const;
+
+  /// Forward pass through the accelerator.
+  nn::Tensor forward(nn::Sequential& model, const nn::Tensor& x) const;
+
+  /// Classification accuracy of `model` on `data` via this executor.
+  double evaluate(nn::Sequential& model, const nn::Dataset& data,
+                  std::size_t batch_size = 64) const;
+
+  /// Installs (or clears, with nullptr) a read-out corruption hook. While a
+  /// hook is installed, forward() walks the model layer by layer even when
+  /// activation quantization is off.
+  void set_readout_hook(ReadoutHook hook) { readout_hook_ = std::move(hook); }
+  bool has_readout_hook() const { return static_cast<bool>(readout_hook_); }
+
+ private:
+  AcceleratorConfig config_;
+  ExecutorOptions options_;
+  ReadoutHook readout_hook_;
+};
+
+}  // namespace safelight::accel

@@ -1,0 +1,123 @@
+#include "accel/mapping.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace safelight::accel {
+
+WeightStationaryMapping::WeightStationaryMapping(
+    nn::Sequential& model, const AcceleratorConfig& config)
+    : config_(config) {
+  config_.validate();
+  for (nn::Param* p : model.params()) {
+    if (p->kind == nn::ParamKind::kConvWeight) {
+      conv_ranges_.push_back(
+          {p, conv_count_, conv_count_ + p->value.numel(), 0.0f});
+      conv_count_ += p->value.numel();
+    } else if (p->kind == nn::ParamKind::kLinearWeight) {
+      fc_ranges_.push_back({p, fc_count_, fc_count_ + p->value.numel(), 0.0f});
+      fc_count_ += p->value.numel();
+    }
+  }
+  refresh_scales();
+}
+
+void WeightStationaryMapping::refresh_scales() {
+  for (auto* ranges_ptr : {&conv_ranges_, &fc_ranges_}) {
+    for (auto& range : *ranges_ptr) {
+      range.scale = range.param->value.abs_max();
+      if (range.scale == 0.0f) range.scale = 1.0f;  // all-zero tensor
+    }
+  }
+}
+
+const std::vector<WeightStationaryMapping::TensorRange>&
+WeightStationaryMapping::ranges(BlockKind block) const {
+  return block == BlockKind::kConv ? conv_ranges_ : fc_ranges_;
+}
+
+std::vector<WeightStationaryMapping::TensorRange>&
+WeightStationaryMapping::ranges(BlockKind block) {
+  return block == BlockKind::kConv ? conv_ranges_ : fc_ranges_;
+}
+
+std::size_t WeightStationaryMapping::weight_count(BlockKind block) const {
+  return block == BlockKind::kConv ? conv_count_ : fc_count_;
+}
+
+std::size_t WeightStationaryMapping::passes(BlockKind block) const {
+  const std::size_t count = weight_count(block);
+  if (count == 0) return 0;
+  const std::size_t slots = config_.block(block).slot_count();
+  return (count + slots - 1) / slots;
+}
+
+SlotAddress WeightStationaryMapping::slot_of_weight(
+    BlockKind block, std::size_t weight_index) const {
+  require(weight_index < weight_count(block),
+          "slot_of_weight: weight index out of range");
+  const BlockDims& dims = config_.block(block);
+  return slot_from_flat(dims, block, weight_index % dims.slot_count());
+}
+
+WeightRef WeightStationaryMapping::weight(BlockKind block,
+                                          std::size_t weight_index) const {
+  require(weight_index < weight_count(block),
+          "weight: index out of range for block " + to_string(block));
+  const auto& rs = ranges(block);
+  // Ranges are sorted by construction; binary search the containing tensor.
+  auto it = std::upper_bound(
+      rs.begin(), rs.end(), weight_index,
+      [](std::size_t idx, const TensorRange& r) { return idx < r.end; });
+  SAFELIGHT_ASSERT(it != rs.end() && weight_index >= it->begin,
+                   "weight: range lookup failed");
+  return WeightRef{it->param, weight_index - it->begin};
+}
+
+std::vector<WeightRef> WeightStationaryMapping::weights_on_slot(
+    const SlotAddress& addr) const {
+  const BlockDims& dims = config_.block(addr.block);
+  const std::size_t flat = slot_flat_index(dims, addr);
+  const std::size_t count = weight_count(addr.block);
+  std::vector<WeightRef> out;
+  for (std::size_t w = flat; w < count; w += dims.slot_count()) {
+    out.push_back(weight(addr.block, w));
+  }
+  return out;
+}
+
+std::vector<std::vector<WeightRef>> WeightStationaryMapping::bank_weights(
+    const BankAddress& addr) const {
+  const BlockDims& dims = config_.block(addr.block);
+  const std::size_t bank_base =
+      bank_flat_index(dims, addr) * dims.mrs_per_bank;
+  const std::size_t count = weight_count(addr.block);
+  const std::size_t pass_count = passes(addr.block);
+
+  std::vector<std::vector<WeightRef>> out;
+  for (std::size_t pass = 0; pass < pass_count; ++pass) {
+    std::vector<WeightRef> group(dims.mrs_per_bank);
+    bool any = false;
+    for (std::size_t mr = 0; mr < dims.mrs_per_bank; ++mr) {
+      const std::size_t w = pass * dims.slot_count() + bank_base + mr;
+      if (w < count) {
+        group[mr] = weight(addr.block, w);
+        any = true;
+      }
+    }
+    if (any) out.push_back(std::move(group));
+  }
+  return out;
+}
+
+float WeightStationaryMapping::scale_of(const nn::Param* param) const {
+  for (const auto* ranges_ptr : {&conv_ranges_, &fc_ranges_}) {
+    for (const auto& range : *ranges_ptr) {
+      if (range.param == param) return range.scale;
+    }
+  }
+  fail_argument("scale_of: parameter is not mapped onto MRs");
+}
+
+}  // namespace safelight::accel

@@ -1,0 +1,47 @@
+// Slot addressing: locating a single MR inside a block.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "accel/arch.hpp"
+
+namespace safelight::accel {
+
+/// Address of one MR (one weight slot) inside the accelerator.
+struct SlotAddress {
+  BlockKind block = BlockKind::kConv;
+  std::size_t unit = 0;
+  std::size_t bank = 0;
+  std::size_t mr = 0;
+
+  bool operator==(const SlotAddress&) const = default;
+  std::string to_string() const;
+};
+
+/// Address of one MR bank (hotspot attacks are bank-granular).
+struct BankAddress {
+  BlockKind block = BlockKind::kConv;
+  std::size_t unit = 0;
+  std::size_t bank = 0;
+
+  bool operator==(const BankAddress&) const = default;
+  std::string to_string() const;
+};
+
+/// Flat index <-> structured address conversions. Slots are laid out
+/// MR-fastest: consecutive flat indices fill one bank's wavelengths before
+/// moving to the next bank — so consecutive mapped weights share a bank,
+/// which is what makes hotspot attacks corrupt *clusters* of weights.
+std::size_t slot_flat_index(const BlockDims& dims, const SlotAddress& addr);
+SlotAddress slot_from_flat(const BlockDims& dims, BlockKind block,
+                           std::size_t flat);
+
+std::size_t bank_flat_index(const BlockDims& dims, const BankAddress& addr);
+BankAddress bank_from_flat(const BlockDims& dims, BlockKind block,
+                           std::size_t flat);
+
+/// The bank containing a slot.
+BankAddress bank_of_slot(const SlotAddress& addr);
+
+}  // namespace safelight::accel

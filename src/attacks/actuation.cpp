@@ -1,0 +1,82 @@
+#include "attacks/actuation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::attack {
+
+namespace {
+
+std::size_t victims_for(double fraction, std::size_t population) {
+  return static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(population)));
+}
+
+}  // namespace
+
+std::vector<HardwareTrojan> plan_actuation_attack(
+    const accel::AcceleratorConfig& config, const AttackScenario& scenario,
+    const ActuationConfig& attack) {
+  scenario.validate();
+  require(scenario.vector == AttackVector::kActuation,
+          "plan_actuation_attack: scenario is not an actuation attack");
+  require(attack.park_spacing_fraction > 0.0,
+          "ActuationConfig: park fraction must be positive");
+
+  const std::size_t conv_slots = config.conv.slot_count();
+  const std::size_t fc_slots = config.fc.slot_count();
+
+  std::size_t population = 0;
+  switch (scenario.target) {
+    case AttackTarget::kConvBlock: population = conv_slots; break;
+    case AttackTarget::kFcBlock: population = fc_slots; break;
+    case AttackTarget::kBothBlocks: population = conv_slots + fc_slots; break;
+  }
+  const std::size_t victim_count =
+      victims_for(scenario.fraction, population);
+
+  Rng rng(seed_combine(scenario.seed, 0xAC7, population));
+  const std::vector<std::size_t> picks =
+      rng.sample_without_replacement(population, victim_count);
+
+  std::vector<HardwareTrojan> trojans;
+  trojans.reserve(picks.size());
+  for (std::size_t pick : picks) {
+    HardwareTrojan trojan;
+    trojan.payload = PayloadKind::kActuationPark;
+    // In the union population, CONV slots come first, then FC slots.
+    if (scenario.target == AttackTarget::kFcBlock ||
+        (scenario.target == AttackTarget::kBothBlocks && pick >= conv_slots)) {
+      const std::size_t flat =
+          scenario.target == AttackTarget::kFcBlock ? pick : pick - conv_slots;
+      trojan.victim_slot =
+          accel::slot_from_flat(config.fc, accel::BlockKind::kFc, flat);
+    } else {
+      trojan.victim_slot =
+          accel::slot_from_flat(config.conv, accel::BlockKind::kConv, pick);
+    }
+    trojan.victim_bank = accel::bank_of_slot(trojan.victim_slot);
+    trojans.push_back(trojan);
+  }
+  return apply_trigger_model(std::move(trojans), attack.trigger, rng);
+}
+
+double parked_transmission(const accel::AcceleratorConfig& config,
+                           accel::BlockKind block,
+                           double park_spacing_fraction) {
+  const phot::WdmGrid grid = config.bank_grid(block);
+  phot::Microring ring(config.geometry(block), grid.wavelength(0));
+  ring.set_detuning_nm(park_spacing_fraction * grid.spacing_nm());
+  return ring.transmission(grid.wavelength(0));
+}
+
+double stuck_weight_magnitude(const accel::AcceleratorConfig& config,
+                              accel::BlockKind block,
+                              double park_spacing_fraction) {
+  const double t = parked_transmission(config, block, park_spacing_fraction);
+  return std::max(0.0, config.encoding.to_magnitude(t));
+}
+
+}  // namespace safelight::attack

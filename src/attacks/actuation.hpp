@@ -1,0 +1,43 @@
+// MR actuation attack planning (paper §III.B.1).
+//
+// HTs embedded in the EO signal-actuation circuits force individual MRs into
+// an "off-resonance" state. Victims are individual MRs sampled uniformly at
+// random over the targeted block(s); the payload parks the ring a
+// configurable fraction of a channel spacing away from its carrier, which
+// drives its through-port transmission toward 1 — the mapped weight sticks
+// near its maximum magnitude (paper Fig. 4).
+#pragma once
+
+#include <vector>
+
+#include "accel/arch.hpp"
+#include "attacks/scenario.hpp"
+#include "attacks/trojan.hpp"
+
+namespace safelight::attack {
+
+struct ActuationConfig {
+  /// Park distance as a fraction of the bank's channel spacing.
+  double park_spacing_fraction = 0.5;
+  TriggerModel trigger{};
+};
+
+/// Samples the victim slots for an actuation scenario. The scenario's
+/// fraction applies to the MR population of the targeted block(s); for
+/// kBothBlocks it applies to the union. Placement is deterministic in
+/// scenario.seed. Throws on non-actuation scenarios.
+std::vector<HardwareTrojan> plan_actuation_attack(
+    const accel::AcceleratorConfig& config, const AttackScenario& scenario,
+    const ActuationConfig& attack = {});
+
+/// The transmission an attacked ring presents to its own carrier when
+/// parked, and the resulting stuck weight magnitude after electronic decode
+/// (used by the fast corruption path; validated against MrBank in tests).
+double parked_transmission(const accel::AcceleratorConfig& config,
+                           accel::BlockKind block,
+                           double park_spacing_fraction);
+double stuck_weight_magnitude(const accel::AcceleratorConfig& config,
+                              accel::BlockKind block,
+                              double park_spacing_fraction);
+
+}  // namespace safelight::attack

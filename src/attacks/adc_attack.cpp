@@ -1,0 +1,83 @@
+#include "attacks/adc_attack.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace safelight::attack {
+
+std::string to_string(AdcPayload payload) {
+  switch (payload) {
+    case AdcPayload::kStuckFullScale: return "stuck-full-scale";
+    case AdcPayload::kSignFlip: return "sign-flip";
+    case AdcPayload::kMsbFlip: break;
+  }
+  return "msb-flip";
+}
+
+void AdcAttackConfig::validate() const {
+  require(fraction >= 0.0 && fraction <= 1.0,
+          "AdcAttackConfig: fraction must be in [0,1]");
+}
+
+AdcAttackPlan plan_adc_attack(const accel::AcceleratorConfig& config,
+                              const AdcAttackConfig& attack) {
+  attack.validate();
+  AdcAttackPlan plan;
+  plan.payload = attack.payload;
+  if (!attack.enabled()) return plan;
+
+  Rng rng(seed_combine(attack.seed, 0xADC));
+  const std::size_t conv_rows = config.conv.bank_count();
+  const std::size_t fc_rows = config.fc.bank_count();
+  plan.conv_rows = rng.sample_without_replacement(
+      conv_rows, static_cast<std::size_t>(
+                     std::llround(attack.fraction *
+                                  static_cast<double>(conv_rows))));
+  plan.fc_rows = rng.sample_without_replacement(
+      fc_rows, static_cast<std::size_t>(
+                   std::llround(attack.fraction *
+                                static_cast<double>(fc_rows))));
+  return plan;
+}
+
+void apply_adc_payload(nn::Tensor& t, const AdcAttackPlan& plan,
+                       accel::BlockKind kind, std::size_t rows_in_block,
+                       float full_scale) {
+  require(rows_in_block > 0, "apply_adc_payload: rows_in_block must be > 0");
+  require(t.rank() >= 2, "apply_adc_payload: need [N, C, ...] tensor");
+  const auto& victim_rows = plan.rows(kind);
+  if (victim_rows.empty() || full_scale == 0.0f) return;
+  const std::unordered_set<std::size_t> victims(victim_rows.begin(),
+                                                victim_rows.end());
+
+  const std::size_t batch = t.dim(0);
+  const std::size_t channels = t.dim(1);
+  const std::size_t inner = t.numel() / (batch * channels);
+  const float half_scale = full_scale * 0.5f;
+
+  for (std::size_t c = 0; c < channels; ++c) {
+    if (victims.count(c % rows_in_block) == 0) continue;
+    for (std::size_t n = 0; n < batch; ++n) {
+      float* slab = t.data() + (n * channels + c) * inner;
+      for (std::size_t i = 0; i < inner; ++i) {
+        switch (plan.payload) {
+          case AdcPayload::kStuckFullScale:
+            slab[i] = full_scale;
+            break;
+          case AdcPayload::kSignFlip:
+            slab[i] = -slab[i];
+            break;
+          case AdcPayload::kMsbFlip:
+            // Inverting the MSB of an offset-binary converter shifts the
+            // code by half the range, wrapping at the rails.
+            slab[i] += slab[i] >= 0.0f ? -half_scale : half_scale;
+            break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace safelight::attack

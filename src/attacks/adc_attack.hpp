@@ -1,0 +1,64 @@
+// ADC hardware-trojan attack (paper §II.C).
+//
+// "The ADC converts the final partial sum of the dot product computed in a
+// row of MR banks. Accordingly, attacking the ADCs in an ONN accelerator
+// would impact and change several outputs during DNN execution and can
+// result in significant accuracy losses at inference time."
+//
+// SafeLight models a compromised ADC as a payload applied to the digitized
+// partial sums of a victim subset of VDP rows. Because rows are time-shared
+// across a layer's output neurons, a victim ADC corrupts a fixed stride of
+// every mapped layer's outputs. Supported payloads follow the analog-trojan
+// literature ([22], [23]): stuck-at-full-scale, sign flip, and MSB flip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/arch.hpp"
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace safelight::attack {
+
+enum class AdcPayload {
+  kStuckFullScale,  // converter output pinned to + full scale
+  kSignFlip,        // comparator polarity inverted
+  kMsbFlip,         // most-significant bit inverted
+};
+
+std::string to_string(AdcPayload payload);
+
+struct AdcAttackConfig {
+  double fraction = 0.0;   // fraction of ADC rows compromised
+  AdcPayload payload = AdcPayload::kMsbFlip;
+  std::uint64_t seed = 1;
+
+  bool enabled() const { return fraction > 0.0; }
+  void validate() const;
+};
+
+/// Plans which ADC rows (one per VDP bank row) are compromised, per block.
+struct AdcAttackPlan {
+  std::vector<std::size_t> conv_rows;  // victim row indices in CONV block
+  std::vector<std::size_t> fc_rows;    // victim row indices in FC block
+  AdcPayload payload = AdcPayload::kMsbFlip;
+
+  const std::vector<std::size_t>& rows(accel::BlockKind kind) const {
+    return kind == accel::BlockKind::kConv ? conv_rows : fc_rows;
+  }
+};
+
+AdcAttackPlan plan_adc_attack(const accel::AcceleratorConfig& config,
+                              const AdcAttackConfig& attack);
+
+/// Applies the payload to the outputs of one mapped layer (in place).
+/// `t` is the layer's post-accumulation activation tensor [N, C, ...] or
+/// [N, F]; victim rows hit output channels `c` with
+/// c % rows_in_block in victim set (time-sharing stride model).
+/// `full_scale` is the ADC full-scale magnitude for this tensor.
+void apply_adc_payload(nn::Tensor& t, const AdcAttackPlan& plan,
+                       accel::BlockKind kind, std::size_t rows_in_block,
+                       float full_scale);
+
+}  // namespace safelight::attack

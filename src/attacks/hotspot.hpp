@@ -1,0 +1,65 @@
+// Thermal hotspot attack planning (paper §III.B.2, Figs. 5 and 6).
+//
+// HTs in the TO tuning circuits overdrive in-resonator photoconductive
+// heaters of whole MR banks. The plan:
+//  1. sample victim banks (bank-granular, enough banks to cover the
+//     scenario's MR fraction),
+//  2. inject the heater overdrive power into the victim banks' cells of the
+//     block floorplan and solve the steady-state thermal field,
+//  3. convert each bank's temperature rise (minus the tuning circuit's
+//     compensation capacity) into an Eq. 2 resonance shift.
+// The temperature field spreads into neighboring banks, so hotspot attacks
+// corrupt *clusters* of parameters — the reason they dominate actuation
+// attacks in the paper's results.
+#pragma once
+
+#include <vector>
+
+#include "accel/arch.hpp"
+#include "attacks/scenario.hpp"
+#include "attacks/trojan.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/solver.hpp"
+
+namespace safelight::attack {
+
+struct HotspotConfig {
+  /// Total heater overdrive power dumped into each victim bank [mW]
+  /// ("multiple compromised heaters" per bank, paper Fig. 6).
+  double heater_overdrive_mw = 45.0;
+  /// Temperature swing the per-MR tuning loop can still compensate [K].
+  double tuning_compensation_k = 3.0;
+  thermal::SolverConfig solver{};
+  TriggerModel trigger{};
+};
+
+/// Thermal outcome for one block: per-bank temperature rise (flat bank
+/// index order) plus the solved grid for heatmap rendering.
+struct BlockThermalState {
+  accel::BlockKind block = accel::BlockKind::kConv;
+  std::size_t banks_per_unit = 0;    // for BankAddress -> flat conversion
+  std::vector<double> bank_delta_t;  // [bank_count], Kelvin above ambient
+  thermal::ThermalGrid grid;         // solved field
+
+  explicit BlockThermalState(thermal::ThermalGrid g)
+      : grid(std::move(g)) {}
+};
+
+struct HotspotPlan {
+  std::vector<HardwareTrojan> trojans;         // victim banks
+  std::vector<BlockThermalState> block_states; // one per affected block
+
+  /// Effective (post-compensation) delta-T of a bank; 0 when unaffected.
+  double effective_delta_t(const accel::BankAddress& bank,
+                           double compensation_k) const;
+
+  const BlockThermalState* state_for(accel::BlockKind block) const;
+};
+
+/// Plans a hotspot attack: victim sampling, thermal solve, per-bank rises.
+/// Deterministic in scenario.seed. Throws on non-hotspot scenarios.
+HotspotPlan plan_hotspot_attack(const accel::AcceleratorConfig& config,
+                                const AttackScenario& scenario,
+                                const HotspotConfig& attack = {});
+
+}  // namespace safelight::attack

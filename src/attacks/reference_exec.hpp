@@ -1,0 +1,37 @@
+// Device-level reference execution of a fully-connected layer under attack.
+//
+// The experiment fast path corrupts weight tensors through the mapping and
+// then runs ordinary GEMM inference. This module is its ground truth: it
+// instantiates the *physical* MR banks for the FC-block mapping of a single
+// Linear layer, applies the attack payloads photonically (parking the
+// actuation victims' rings, heating the hotspot victims' banks) and
+// computes the layer output from per-bank dot products. Integration tests
+// assert both paths agree — slot arithmetic, pass layout, normalization and
+// payload physics all have to line up for that to hold.
+#pragma once
+
+#include <vector>
+
+#include "accel/mapping.hpp"
+#include "attacks/actuation.hpp"
+#include "attacks/corruption.hpp"
+#include "attacks/hotspot.hpp"
+#include "attacks/scenario.hpp"
+#include "nn/linear.hpp"
+
+namespace safelight::attack {
+
+/// Computes y = W_eff * x for the Linear layer mapped by `mapping`
+/// (which must map exactly this one layer, in a single FC pass), with the
+/// scenario's trojans applied at the device level. Returns the
+/// de-normalized output vector of length out_features.
+///
+/// Restrictions (enforced): the mapping's FC weight count must equal the
+/// layer's weight count and fit one pass; the scenario must target the FC
+/// block (or be a zero-fraction no-op).
+std::vector<double> reference_fc_forward(
+    const accel::WeightStationaryMapping& mapping, nn::Linear& layer,
+    const std::vector<double>& x, const AttackScenario& scenario,
+    const CorruptionConfig& config = {});
+
+}  // namespace safelight::attack

@@ -1,0 +1,38 @@
+#include "attacks/trojan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace safelight::attack {
+
+std::string to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kActuationPark: return "actuation";
+    case PayloadKind::kHeaterOverdrive: break;
+  }
+  return "hotspot";
+}
+
+void TriggerModel::validate() const {
+  require(trigger_probability >= 0.0 && trigger_probability <= 1.0,
+          "TriggerModel: probability must be in [0,1]");
+}
+
+std::vector<HardwareTrojan> apply_trigger_model(
+    std::vector<HardwareTrojan> population, const TriggerModel& model,
+    Rng& rng) {
+  model.validate();
+  if (model.trigger_probability >= 1.0) {
+    for (auto& trojan : population) trojan.triggered = true;
+    return population;
+  }
+  std::vector<HardwareTrojan> triggered;
+  for (auto& trojan : population) {
+    trojan.triggered = rng.bernoulli(model.trigger_probability);
+    if (trojan.triggered) triggered.push_back(trojan);
+  }
+  return triggered;
+}
+
+}  // namespace safelight::attack

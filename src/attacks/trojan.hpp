@@ -1,0 +1,50 @@
+// Hardware-trojan abstraction (paper §II.A: "HTs involve malicious circuits
+// with a trigger and a payload; the payload activates when the trigger
+// condition is met").
+//
+// SafeLight models the *payload* effects precisely (actuation parking,
+// heater overdrive) and keeps the trigger abstract: the susceptibility
+// analysis assumes triggered trojans, and TriggerModel lets ablations study
+// partially triggered populations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/slot.hpp"
+#include "common/rng.hpp"
+
+namespace safelight::attack {
+
+/// What a triggered trojan does to its victim MR.
+enum class PayloadKind {
+  kActuationPark,   // EO circuit hijacked: ring parked off-resonance
+  kHeaterOverdrive, // TO heater driven far beyond its control setpoint
+};
+
+std::string to_string(PayloadKind kind);
+
+/// Trigger behaviour of an implanted trojan population.
+struct TriggerModel {
+  /// Probability that an implanted trojan is actually triggered during the
+  /// attack window (1.0 = the paper's always-on analysis).
+  double trigger_probability = 1.0;
+
+  void validate() const;
+};
+
+/// One implanted trojan instance.
+struct HardwareTrojan {
+  PayloadKind payload = PayloadKind::kActuationPark;
+  accel::SlotAddress victim_slot;  // for actuation payloads
+  accel::BankAddress victim_bank;  // for heater payloads
+  bool triggered = true;
+};
+
+/// Applies the trigger model to a population: returns the triggered subset.
+std::vector<HardwareTrojan> apply_trigger_model(
+    std::vector<HardwareTrojan> population, const TriggerModel& model,
+    Rng& rng);
+
+}  // namespace safelight::attack

@@ -1,0 +1,87 @@
+#include "common/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace safelight {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  if (!header.empty()) row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(fmt_double(v));
+  row(fields);
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (char ch : line) {
+    if (ch == '"') {
+      quoted = !quoted;
+    } else if (ch == ',' && !quoted) {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::string& path) {
+  CsvTable table;
+  if (!std::filesystem::exists(path)) return table;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        throw std::runtime_error("read_csv: ragged row in " + path);
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace safelight

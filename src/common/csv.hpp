@@ -1,0 +1,48 @@
+// Small CSV writer/reader used by the bench harness and result caches.
+//
+// The format intentionally stays trivial (no embedded commas/quotes in
+// SafeLight's own output); the reader still tolerates quoted fields so cache
+// files survive hand edits.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace safelight {
+
+/// Appending CSV writer. Creates parent directories lazily is NOT done here;
+/// callers own directory creation.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Writes `header` as first row when
+  /// non-empty. Throws std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; fields are emitted verbatim, separated by commas.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed string/double rows.
+  void row_values(const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Parsed CSV contents: header + data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads a CSV file written by CsvWriter. Returns an empty table when the
+/// file does not exist. Throws std::runtime_error on malformed content.
+CsvTable read_csv(const std::string& path);
+
+/// Formats a double with fixed precision (default 4) for report rows.
+std::string fmt_double(double v, int precision = 4);
+
+}  // namespace safelight

@@ -1,0 +1,38 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace safelight {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+Scale env_scale() {
+  const std::string raw = env_string("SAFELIGHT_SCALE", "default");
+  if (raw == "tiny") return Scale::kTiny;
+  if (raw == "full") return Scale::kFull;
+  return Scale::kDefault;
+}
+
+std::string to_string(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kFull: return "full";
+    case Scale::kDefault: break;
+  }
+  return "default";
+}
+
+}  // namespace safelight

@@ -1,0 +1,26 @@
+// Environment-variable configuration knobs (documented in DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace safelight {
+
+/// Reads an environment variable; returns fallback when unset/empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+
+/// Reads an integer environment variable; returns fallback when unset or
+/// unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Experiment scale presets; see DESIGN.md. Controls dataset sizes, model
+/// widths and training epochs for the reproduction experiments.
+enum class Scale { kTiny, kDefault, kFull };
+
+/// Parses SAFELIGHT_SCALE ("tiny" | "default" | "full"); defaults to kDefault.
+Scale env_scale();
+
+/// Human-readable scale name.
+std::string to_string(Scale scale);
+
+}  // namespace safelight

@@ -1,0 +1,79 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safelight {
+
+std::size_t worker_count() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("SAFELIGHT_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return cached;
+}
+
+namespace {
+// Set while executing inside a parallel_for worker; nested parallel_for
+// calls then degrade to serial loops instead of oversubscribing the host.
+thread_local bool g_in_parallel_region = false;
+}  // namespace
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  std::size_t workers =
+      std::min(worker_count(), std::max<std::size_t>(1, total / std::max<std::size_t>(1, min_grain)));
+  if (g_in_parallel_region) workers = 1;
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t chunk = (total + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    threads.emplace_back([&, lo, hi] {
+      g_in_parallel_region = true;
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      min_grain);
+}
+
+}  // namespace safelight

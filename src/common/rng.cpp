@@ -1,0 +1,75 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace safelight {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  require(stddev >= 0.0, "Rng::gaussian: stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  require(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p must be in [0,1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  require(k <= n, "Rng::sample_without_replacement: k must be <= n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n - 1)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  return sample_without_replacement(n, n);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  const std::uint64_t draw = engine_();
+  return Rng(splitmix64(draw ^ splitmix64(salt)));
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t seed_combine(std::uint64_t base, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) {
+  std::uint64_t s = splitmix64(base);
+  s = splitmix64(s ^ splitmix64(a + 0x1000));
+  s = splitmix64(s ^ splitmix64(b + 0x2000));
+  s = splitmix64(s ^ splitmix64(c + 0x3000));
+  return s;
+}
+
+}  // namespace safelight

@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safelight {
+
+namespace {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted.front();
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double mean_of(const std::vector<double>& values) {
+  require(!values.empty(), "mean_of: empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev_of(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean_of(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  require(!values.empty(), "box_stats: empty input");
+  BoxStats s;
+  s.n = values.size();
+  s.mean = mean_of(values);
+  s.stddev = stddev_of(values);
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.50);
+  s.q3 = quantile_sorted(values, 0.75);
+  return s;
+}
+
+std::string BoxStats::to_string() const {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << "min=" << min << " q1=" << q1 << " med=" << median
+     << " q3=" << q3 << " max=" << max << " mean=" << mean << " (n=" << n
+     << ")";
+  return os.str();
+}
+
+}  // namespace safelight

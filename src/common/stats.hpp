@@ -1,0 +1,46 @@
+// Descriptive statistics used by the experiment reports.
+//
+// The paper presents Fig. 8 as box-and-whisker plots and Fig. 9 as accuracy
+// intervals; BoxStats computes the five-number summary (plus mean) those plots
+// are built from.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace safelight {
+
+/// Five-number summary (min, Q1, median, Q3, max) plus mean and stddev.
+struct BoxStats {
+  std::size_t n = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// Interquartile range.
+  double iqr() const { return q3 - q1; }
+
+  /// One-line rendering used by the bench tables.
+  std::string to_string() const;
+};
+
+/// Computes BoxStats over `values`. Quartiles use linear interpolation
+/// between order statistics (type-7, the numpy/R default). Throws
+/// std::invalid_argument when `values` is empty.
+BoxStats box_stats(std::vector<double> values);
+
+/// Arithmetic mean; throws on empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double stddev_of(const std::vector<double>& values);
+
+/// Quantile q in [0,1] with type-7 interpolation; throws on empty input.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace safelight

@@ -1,0 +1,67 @@
+// Attack evaluation engine with persistent result caching.
+//
+// For one trained model variant, the evaluator:
+//   1. conditions the weights for deployment (per-tensor normalization +
+//      DAC quantization, accel::OnnExecutor),
+//   2. snapshots the conditioned state,
+//   3. per scenario: restores the snapshot, applies the attack corruption
+//      through the weight-stationary mapping, and measures accuracy on the
+//      evaluation subset.
+// Results are memoized in a CSV keyed by a checksum of the trained weights,
+// so reruns of the bench suite are cheap and retraining invalidates stale
+// entries automatically.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "accel/executor.hpp"
+#include "attacks/corruption.hpp"
+#include "core/experiment_scale.hpp"
+
+namespace safelight::core {
+
+class AttackEvaluator {
+ public:
+  /// `cache_dir` empty disables persistence (tests). The model reference
+  /// must outlive the evaluator; its weights are managed by the evaluator
+  /// from here on (conditioned, attacked, restored).
+  AttackEvaluator(const ExperimentSetup& setup, nn::Sequential& model,
+                  std::string variant_name, std::string cache_dir);
+
+  /// Accuracy of the unattacked (conditioned) model on the eval subset.
+  double baseline_accuracy();
+
+  /// Accuracy under one attack scenario (cached).
+  double evaluate_scenario(const attack::AttackScenario& scenario);
+
+  /// Corruption statistics of the last *computed* (non-cached) scenario.
+  const attack::CorruptionStats& last_stats() const { return last_stats_; }
+
+  /// Leaves the model in its clean conditioned state.
+  void restore_clean();
+
+  const ExperimentSetup& setup() const { return setup_; }
+
+ private:
+  std::string cache_key(const std::string& scenario_id) const;
+  void load_cache();
+  void append_cache(const std::string& scenario_id, double accuracy);
+
+  ExperimentSetup setup_;
+  nn::Sequential& model_;
+  std::string variant_name_;
+  std::string cache_path_;  // empty = no persistence
+  accel::OnnExecutor executor_;
+  accel::WeightStationaryMapping mapping_;
+  std::vector<nn::Tensor> clean_snapshot_;
+  nn::Dataset eval_data_;
+  attack::CorruptionConfig corruption_;
+  attack::CorruptionStats last_stats_{};
+  std::unordered_map<std::string, double> cache_;
+};
+
+/// FNV-1a checksum over all parameter bytes (cache invalidation key).
+std::string weights_checksum(nn::Sequential& model);
+
+}  // namespace safelight::core

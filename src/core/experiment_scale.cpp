@@ -1,0 +1,207 @@
+#include "core/experiment_scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::core {
+
+namespace {
+
+/// Paper-scale pass/occupancy targets derived from Table I and the
+/// CrossLight block dimensions (CONV: 40,000 slots, FC: 1,350,000 slots).
+struct PressureTargets {
+  double conv_passes;  // < 1 means fractional occupancy, single pass
+  double fc_passes;
+};
+
+PressureTargets pressure_targets(nn::ModelId id) {
+  switch (id) {
+    case nn::ModelId::kCnn1:
+      return {2572.0 / 40000.0, 41854.0 / 1350000.0};
+    case nn::ModelId::kResNet18:
+      return {4.7e6 / 40000.0, 5130.0 / 1350000.0};
+    case nn::ModelId::kVgg16v: break;
+  }
+  return {3.9e6 / 40000.0, 119.6e6 / 1350000.0};
+}
+
+std::size_t clamp_size(double v, std::size_t lo, std::size_t hi) {
+  const auto rounded = static_cast<std::size_t>(std::llround(std::max(1.0, v)));
+  return std::clamp(rounded, lo, hi);
+}
+
+}  // namespace
+
+accel::AcceleratorConfig accelerator_for(nn::ModelId id,
+                                         std::size_t conv_weights,
+                                         std::size_t fc_weights) {
+  require(conv_weights > 0 || fc_weights > 0,
+          "accelerator_for: model has no MR-mapped weights");
+  const PressureTargets target = pressure_targets(id);
+  accel::AcceleratorConfig config = accel::AcceleratorConfig::crosslight();
+
+  // CONV block: 400 slots per unit (20 banks x 20 MRs).
+  if (conv_weights > 0) {
+    const double slot_target =
+        static_cast<double>(conv_weights) / std::max(target.conv_passes, 1e-9);
+    config.conv.units = clamp_size(slot_target / 400.0, 1, 100);
+  }
+
+  // FC block: 22,500 slots per unit (150 banks x 150 MRs). When a unit is
+  // already too coarse, shrink banks-per-unit instead (bank width stays 150).
+  if (fc_weights > 0) {
+    const double slot_target =
+        static_cast<double>(fc_weights) / std::max(target.fc_passes, 1e-9);
+    if (slot_target >= 22500.0) {
+      config.fc.units = clamp_size(slot_target / 22500.0, 1, 60);
+    } else {
+      config.fc.units = 1;
+      config.fc.banks_per_unit = clamp_size(slot_target / 150.0, 1, 150);
+    }
+  }
+  config.validate();
+  return config;
+}
+
+std::string ExperimentSetup::tag() const {
+  return nn::to_string(model) + "_" + safelight::to_string(scale);
+}
+
+ExperimentSetup experiment_setup(nn::ModelId id, Scale scale) {
+  ExperimentSetup setup;
+  setup.model = id;
+  setup.scale = scale;
+  setup.base_train.lr = 0.05f;
+  setup.base_train.momentum = 0.9f;
+  setup.base_train.lr_decay = 0.5f;
+  setup.base_train.seed = 11;
+
+  switch (id) {
+    case nn::ModelId::kCnn1: {
+      setup.dataset_family = "digits";
+      setup.model_config.in_channels = 1;
+      setup.model_config.classes = 10;
+      switch (scale) {
+        case Scale::kTiny:
+          setup.model_config.image_size = 20;
+          setup.train_data.count = 300;
+          setup.test_data.count = 100;
+          setup.base_train.epochs = 4;
+          setup.eval_count = 100;
+          break;
+        case Scale::kFull:
+        case Scale::kDefault:
+          setup.model_config.image_size = 28;
+          setup.train_data.count = scale == Scale::kFull ? 4000 : 1200;
+          setup.test_data.count = scale == Scale::kFull ? 1000 : 400;
+          setup.base_train.epochs = scale == Scale::kFull ? 10 : 6;
+          setup.eval_count = scale == Scale::kFull ? 500 : 300;
+          break;
+      }
+      break;
+    }
+    case nn::ModelId::kResNet18: {
+      setup.dataset_family = "shapes";
+      setup.model_config.in_channels = 3;
+      setup.model_config.classes = 10;
+      switch (scale) {
+        case Scale::kTiny:
+          setup.model_config.width = 4;
+          setup.model_config.image_size = 12;
+          setup.train_data.count = 150;
+          setup.test_data.count = 80;
+          setup.base_train.epochs = 2;
+          setup.eval_count = 80;
+          break;
+        case Scale::kDefault:
+          setup.model_config.width = 8;
+          setup.model_config.image_size = 16;
+          setup.train_data.count = 700;
+          setup.test_data.count = 300;
+          setup.base_train.epochs = 6;
+          setup.eval_count = 250;
+          break;
+        case Scale::kFull:
+          setup.model_config.width = 64;
+          setup.model_config.image_size = 32;
+          setup.train_data.count = 4000;
+          setup.test_data.count = 1000;
+          setup.base_train.epochs = 12;
+          setup.eval_count = 500;
+          break;
+      }
+      break;
+    }
+    case nn::ModelId::kVgg16v: {
+      setup.dataset_family = "textures";
+      setup.model_config.in_channels = 3;
+      setup.model_config.classes = 10;
+      setup.model_config.dropout = 0.3f;
+      switch (scale) {
+        case Scale::kTiny:
+          setup.model_config.width = 8;
+          setup.model_config.fc_dim = 32;
+          setup.model_config.image_size = 16;
+          setup.train_data.count = 150;
+          setup.test_data.count = 80;
+          setup.base_train.epochs = 2;
+          setup.eval_count = 80;
+          break;
+        case Scale::kDefault:
+          setup.model_config.width = 16;
+          setup.model_config.fc_dim = 256;
+          setup.model_config.image_size = 32;
+          // Less dropout than paper scale: the reduced VGG with 700 samples
+          // cannot absorb dropout + L2 + noise-aware training all at once.
+          setup.model_config.dropout = 0.15f;
+          setup.train_data.count = 700;
+          setup.test_data.count = 300;
+          setup.base_train.epochs = 8;
+          setup.eval_count = 250;
+          break;
+        case Scale::kFull:
+          setup.model_config.width = 64;
+          setup.model_config.fc_dim = 4096;
+          setup.model_config.image_size = 224;
+          setup.train_data.count = 4000;
+          setup.test_data.count = 1000;
+          setup.base_train.epochs = 12;
+          setup.eval_count = 500;
+          break;
+      }
+      break;
+    }
+  }
+
+  setup.base_train.lr_decay_every =
+      std::max<std::size_t>(1, setup.base_train.epochs / 2);
+  setup.train_data.image_size = setup.model_config.image_size;
+  setup.test_data.image_size = setup.model_config.image_size;
+  setup.train_data.seed = 21;
+  setup.test_data.seed = 22;  // disjoint stream from the training set
+  setup.base_train.batch_size = 32;
+
+  // Accelerator scaled to the model's reduced weight counts.
+  auto model = nn::make_model(id, setup.model_config);
+  std::size_t conv_weights = 0, fc_weights = 0;
+  for (nn::Param* p : model->params()) {
+    if (p->kind == nn::ParamKind::kConvWeight) conv_weights += p->value.numel();
+    if (p->kind == nn::ParamKind::kLinearWeight) {
+      fc_weights += p->value.numel();
+    }
+  }
+  setup.accelerator = accelerator_for(id, conv_weights, fc_weights);
+  return setup;
+}
+
+nn::Dataset make_train_data(const ExperimentSetup& setup) {
+  return nn::make_synthetic(setup.dataset_family, setup.train_data);
+}
+
+nn::Dataset make_test_data(const ExperimentSetup& setup) {
+  return nn::make_synthetic(setup.dataset_family, setup.test_data);
+}
+
+}  // namespace safelight::core

@@ -1,0 +1,55 @@
+// Experiment setup: models, datasets, training and accelerator scaling.
+//
+// The reproduction host has 2 CPU cores, so the default experiments run
+// width/resolution-reduced models. What must be preserved for the paper's
+// effects to reproduce is not the absolute parameter count but the
+// *mapping pressure* on the accelerator:
+//   * CNN_1 occupies < 7 % of the CONV block and ~3 % of the FC block in a
+//     single pass — it keeps the full CrossLight block dimensions;
+//   * ResNet18 needs ~118 CONV passes (4.7M weights / 40K slots) and a tiny
+//     FC footprint;
+//   * VGG16_v needs ~98 CONV and ~89 FC passes — the multi-pass regime that
+//     collapses under 10 % attacks.
+// accelerator_for() shrinks block unit counts (and, when necessary, FC
+// banks-per-unit) so the reduced models hit the same pass counts. Bank
+// widths (20 / 150 MRs) are never changed: they set the hotspot cluster
+// size, a key attack property.
+#pragma once
+
+#include "accel/arch.hpp"
+#include "common/env.hpp"
+#include "nn/models.hpp"
+#include "nn/synthetic.hpp"
+#include "nn/trainer.hpp"
+
+namespace safelight::core {
+
+struct ExperimentSetup {
+  nn::ModelId model = nn::ModelId::kCnn1;
+  Scale scale = Scale::kDefault;
+  nn::ModelConfig model_config{};
+  std::string dataset_family;      // "digits" | "shapes" | "textures"
+  nn::SynthConfig train_data{};
+  nn::SynthConfig test_data{};
+  nn::TrainConfig base_train{};    // variant factory overrides reg/noise
+  accel::AcceleratorConfig accelerator{};
+  std::size_t eval_count = 300;    // test images per attack evaluation
+
+  /// "cnn1_default" — used in zoo/cache file names.
+  std::string tag() const;
+};
+
+/// Canonical setup for a model at a scale (see DESIGN.md §4/§6).
+ExperimentSetup experiment_setup(nn::ModelId id, Scale scale = env_scale());
+
+/// Derives a pass-pressure-preserving accelerator for a model with the given
+/// MR-mapped weight counts. Exposed for tests; experiment_setup uses it.
+accel::AcceleratorConfig accelerator_for(nn::ModelId id,
+                                         std::size_t conv_weights,
+                                         std::size_t fc_weights);
+
+/// Builds the train/test datasets of a setup.
+nn::Dataset make_train_data(const ExperimentSetup& setup);
+nn::Dataset make_test_data(const ExperimentSetup& setup);
+
+}  // namespace safelight::core

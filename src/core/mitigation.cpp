@@ -1,0 +1,70 @@
+#include "core/mitigation.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace safelight::core {
+
+const VariantOutcome& MitigationReport::best_robust() const {
+  require(!outcomes.empty(), "MitigationReport: no outcomes");
+  const VariantOutcome* best = nullptr;
+  for (const auto& outcome : outcomes) {
+    if (outcome.variant.is_original()) continue;
+    if (best == nullptr ||
+        outcome.under_attack.median > best->under_attack.median ||
+        (outcome.under_attack.median == best->under_attack.median &&
+         outcome.under_attack.min > best->under_attack.min)) {
+      best = &outcome;
+    }
+  }
+  require(best != nullptr, "MitigationReport: no robust variants evaluated");
+  return *best;
+}
+
+const VariantOutcome& MitigationReport::outcome(
+    const std::string& variant_name) const {
+  for (const auto& o : outcomes) {
+    if (o.variant.name == variant_name) return o;
+  }
+  fail_argument("MitigationReport: unknown variant '" + variant_name + "'");
+}
+
+MitigationReport run_mitigation(const ExperimentSetup& setup, ModelZoo& zoo,
+                                const MitigationOptions& options) {
+  require(options.seed_count > 0, "run_mitigation: need >= 1 seed");
+  const auto scenarios =
+      attack::paper_scenario_grid(options.seed_count, options.base_seed);
+
+  MitigationReport report;
+  report.model = setup.model;
+
+  for (const VariantSpec& variant : paper_variants(options.l2_strength)) {
+    if (options.verbose) {
+      std::printf("[mitigation] %s / %s\n", setup.tag().c_str(),
+                  variant.name.c_str());
+      std::fflush(stdout);
+    }
+    auto model = zoo.get_or_train(setup, variant, options.verbose);
+    AttackEvaluator evaluator(setup, *model, variant.name, options.cache_dir);
+
+    VariantOutcome outcome;
+    outcome.variant = variant;
+    outcome.baseline_accuracy = evaluator.baseline_accuracy();
+    if (variant.is_original()) {
+      report.original_baseline = outcome.baseline_accuracy;
+    }
+
+    std::vector<double> accuracies;
+    accuracies.reserve(scenarios.size());
+    for (const auto& row :
+         evaluate_grid(evaluator, scenarios, /*verbose=*/false)) {
+      accuracies.push_back(row.accuracy);
+    }
+    outcome.under_attack = box_stats(std::move(accuracies));
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace safelight::core

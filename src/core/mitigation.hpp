@@ -1,0 +1,43 @@
+// Mitigation analysis (paper §VI, Fig. 8).
+//
+// Evaluates every mitigation variant (Original, L2_reg, l2+n1..l2+n9)
+// across the full attack scenario grid and summarizes each variant's
+// accuracy distribution as box-whisker statistics. Also selects the most
+// robust configuration per model (the paper found l2+n3 / l2+n5 / l2+n2
+// for CNN_1 / ResNet18 / VGG16_v).
+#pragma once
+
+#include "core/susceptibility.hpp"
+
+namespace safelight::core {
+
+struct VariantOutcome {
+  VariantSpec variant;
+  double baseline_accuracy = 0.0;  // unattacked accuracy of this variant
+  BoxStats under_attack;           // accuracy across all attack scenarios
+};
+
+struct MitigationReport {
+  nn::ModelId model;
+  double original_baseline = 0.0;  // unattacked accuracy of Original
+  std::vector<VariantOutcome> outcomes;
+
+  /// Most robust non-Original variant: highest median accuracy under
+  /// attack, ties broken by the worst case (min), then by name.
+  const VariantOutcome& best_robust() const;
+
+  const VariantOutcome& outcome(const std::string& variant_name) const;
+};
+
+struct MitigationOptions {
+  std::size_t seed_count = 3;  // placements per grid cell (Fig. 8 sweep)
+  std::uint64_t base_seed = 1000;
+  float l2_strength = kDefaultL2Strength;
+  std::string cache_dir;
+  bool verbose = false;
+};
+
+MitigationReport run_mitigation(const ExperimentSetup& setup, ModelZoo& zoo,
+                                const MitigationOptions& options);
+
+}  // namespace safelight::core

@@ -1,0 +1,32 @@
+// Console table rendering for the bench harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace safelight::core {
+
+/// Fixed-width table printer: columns auto-size to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline; every row padded per column.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a fraction as a percent string ("5.0%").
+std::string pct(double fraction, int precision = 1);
+
+/// Formats an accuracy delta with sign ("+3.21%" / "-0.40%").
+std::string signed_pct(double fraction, int precision = 2);
+
+}  // namespace safelight::core

@@ -1,0 +1,75 @@
+#include "core/robust_compare.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::core {
+
+const RobustComparisonCell& RobustComparisonReport::cell(
+    attack::AttackVector vector, double fraction) const {
+  for (const auto& c : cells) {
+    if (c.vector == vector && std::abs(c.fraction - fraction) < 1e-12) {
+      return c;
+    }
+  }
+  fail_argument("RobustComparisonReport::cell: no such cell");
+}
+
+RobustComparisonReport run_robust_compare(
+    const ExperimentSetup& setup, ModelZoo& zoo,
+    const RobustCompareOptions& options) {
+  require(options.seed_count > 0, "run_robust_compare: need >= 1 seed");
+
+  std::string robust_name = options.robust_variant;
+  if (robust_name.empty()) {
+    MitigationOptions mitigation_options;
+    mitigation_options.seed_count = 3;
+    mitigation_options.base_seed = options.base_seed;
+    mitigation_options.l2_strength = options.l2_strength;
+    mitigation_options.cache_dir = options.cache_dir;
+    mitigation_options.verbose = options.verbose;
+    robust_name =
+        run_mitigation(setup, zoo, mitigation_options).best_robust()
+            .variant.name;
+  }
+
+  auto original =
+      zoo.get_or_train(setup, variant_by_name("Original"), options.verbose);
+  auto robust = zoo.get_or_train(
+      setup, variant_by_name(robust_name, options.l2_strength),
+      options.verbose);
+
+  AttackEvaluator original_eval(setup, *original, "Original",
+                                options.cache_dir);
+  AttackEvaluator robust_eval(setup, *robust, robust_name, options.cache_dir);
+
+  RobustComparisonReport report;
+  report.model = setup.model;
+  report.robust_variant_name = robust_name;
+  report.original_baseline = original_eval.baseline_accuracy();
+  report.robust_baseline = robust_eval.baseline_accuracy();
+
+  for (attack::AttackVector vector :
+       {attack::AttackVector::kActuation, attack::AttackVector::kHotspot}) {
+    for (double fraction : {0.01, 0.05, 0.10}) {
+      const auto scenarios = attack::scenario_grid(
+          {vector}, {attack::AttackTarget::kBothBlocks}, {fraction},
+          options.seed_count, options.base_seed);
+      std::vector<double> original_acc, robust_acc;
+      for (const auto& scenario : scenarios) {
+        original_acc.push_back(original_eval.evaluate_scenario(scenario));
+        robust_acc.push_back(robust_eval.evaluate_scenario(scenario));
+      }
+      RobustComparisonCell cell;
+      cell.vector = vector;
+      cell.fraction = fraction;
+      cell.original = box_stats(std::move(original_acc));
+      cell.robust = box_stats(std::move(robust_acc));
+      report.cells.push_back(cell);
+    }
+  }
+  return report;
+}
+
+}  // namespace safelight::core

@@ -1,0 +1,51 @@
+// Robust-vs-original comparison (paper §VI, Fig. 9).
+//
+// Compares the most robust variant against the Original model under
+// actuation and hotspot attacks on 1 %, 5 % and 10 % of the *total* MRs
+// (CONV+FC target), reporting accuracy intervals across placements and the
+// recovered accuracy — the quantities behind the paper's
+// "recover up to 5.4 % / 21.2 % / 30.7 %" claims.
+#pragma once
+
+#include "core/mitigation.hpp"
+
+namespace safelight::core {
+
+struct RobustComparisonCell {
+  attack::AttackVector vector;
+  double fraction = 0.0;
+  BoxStats original;   // Original accuracy across placements
+  BoxStats robust;     // best robust variant accuracy across placements
+
+  /// Worst-case drop of the original model vs its unattacked baseline.
+  double original_drop(double baseline) const { return baseline - original.min; }
+  /// Accuracy recovered in the worst case by the robust model.
+  double recovered() const { return robust.min - original.min; }
+};
+
+struct RobustComparisonReport {
+  nn::ModelId model;
+  std::string robust_variant_name;
+  double original_baseline = 0.0;
+  double robust_baseline = 0.0;
+  std::vector<RobustComparisonCell> cells;  // 2 vectors x 3 fractions
+
+  const RobustComparisonCell& cell(attack::AttackVector vector,
+                                   double fraction) const;
+};
+
+struct RobustCompareOptions {
+  std::size_t seed_count = 5;
+  std::uint64_t base_seed = 1000;
+  float l2_strength = kDefaultL2Strength;
+  /// Robust variant to use; empty selects via run_mitigation's best_robust.
+  std::string robust_variant;
+  std::string cache_dir;
+  bool verbose = false;
+};
+
+RobustComparisonReport run_robust_compare(const ExperimentSetup& setup,
+                                          ModelZoo& zoo,
+                                          const RobustCompareOptions& options);
+
+}  // namespace safelight::core

@@ -1,0 +1,96 @@
+#include "core/susceptibility.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace safelight::core {
+
+namespace {
+
+bool scenario_in_group(const attack::AttackScenario& s,
+                       attack::AttackVector vector,
+                       attack::AttackTarget target, double fraction) {
+  return s.vector == vector && s.target == target &&
+         std::abs(s.fraction - fraction) < 1e-12;
+}
+
+}  // namespace
+
+const SusceptibilityGroup& SusceptibilityReport::group(
+    attack::AttackVector vector, attack::AttackTarget target,
+    double fraction) const {
+  for (const auto& g : groups) {
+    if (g.vector == vector && g.target == target &&
+        std::abs(g.fraction - fraction) < 1e-12) {
+      return g;
+    }
+  }
+  fail_argument("SusceptibilityReport::group: no such group");
+}
+
+double SusceptibilityReport::worst_drop(attack::AttackVector vector,
+                                        attack::AttackTarget target,
+                                        double fraction) const {
+  return baseline_accuracy - group(vector, target, fraction).accuracy.min;
+}
+
+std::vector<SusceptibilityRow> evaluate_grid(
+    AttackEvaluator& evaluator,
+    const std::vector<attack::AttackScenario>& scenarios, bool verbose) {
+  std::vector<SusceptibilityRow> rows;
+  rows.reserve(scenarios.size());
+  for (const auto& scenario : scenarios) {
+    SusceptibilityRow row;
+    row.scenario = scenario;
+    row.accuracy = evaluator.evaluate_scenario(scenario);
+    rows.push_back(row);
+    if (verbose) {
+      std::printf("  %-32s acc %.4f\n", scenario.id().c_str(), row.accuracy);
+      std::fflush(stdout);
+    }
+  }
+  return rows;
+}
+
+SusceptibilityReport run_susceptibility(
+    const ExperimentSetup& setup, ModelZoo& zoo,
+    const SusceptibilityOptions& options) {
+  require(options.seed_count > 0, "run_susceptibility: need >= 1 seed");
+  auto model =
+      zoo.get_or_train(setup, variant_by_name("Original"), options.verbose);
+  AttackEvaluator evaluator(setup, *model, "Original", options.cache_dir);
+
+  SusceptibilityReport report;
+  report.model = setup.model;
+  report.baseline_accuracy = evaluator.baseline_accuracy();
+
+  const auto scenarios =
+      attack::paper_scenario_grid(options.seed_count, options.base_seed);
+  report.rows = evaluate_grid(evaluator, scenarios, options.verbose);
+
+  // Aggregate into the 18 groups (2 vectors x 3 targets x 3 fractions).
+  for (attack::AttackVector vector :
+       {attack::AttackVector::kActuation, attack::AttackVector::kHotspot}) {
+    for (attack::AttackTarget target :
+         {attack::AttackTarget::kConvBlock, attack::AttackTarget::kFcBlock,
+          attack::AttackTarget::kBothBlocks}) {
+      for (double fraction : {0.01, 0.05, 0.10}) {
+        std::vector<double> values;
+        for (const auto& row : report.rows) {
+          if (scenario_in_group(row.scenario, vector, target, fraction)) {
+            values.push_back(row.accuracy);
+          }
+        }
+        SAFELIGHT_ASSERT(!values.empty(),
+                         "run_susceptibility: empty scenario group");
+        report.groups.push_back(
+            {vector, target, fraction, box_stats(std::move(values))});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace safelight::core

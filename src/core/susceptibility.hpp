@@ -1,0 +1,64 @@
+// Susceptibility analysis (paper §IV, Fig. 7).
+//
+// Runs a model (usually the Original variant) against the full attack
+// scenario grid: {actuation, hotspot} x {CONV, FC, CONV+FC} x
+// {1 %, 5 %, 10 %} x N random placements, and aggregates accuracies per
+// group — the data behind Fig. 7(a)-(c) and the paper's headline
+// "7.49 % / 26.4 % / 80.46 % drop at 10 % hotspot" numbers.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/evaluation.hpp"
+#include "core/zoo.hpp"
+
+namespace safelight::core {
+
+struct SusceptibilityRow {
+  attack::AttackScenario scenario;
+  double accuracy = 0.0;
+};
+
+struct SusceptibilityGroup {
+  attack::AttackVector vector;
+  attack::AttackTarget target;
+  double fraction;
+  BoxStats accuracy;  // across placement seeds
+};
+
+struct SusceptibilityReport {
+  nn::ModelId model;
+  double baseline_accuracy = 0.0;
+  std::vector<SusceptibilityRow> rows;
+  std::vector<SusceptibilityGroup> groups;
+
+  /// Largest accuracy drop (baseline - min accuracy) within a group;
+  /// throws when the group does not exist.
+  double worst_drop(attack::AttackVector vector,
+                    attack::AttackTarget target, double fraction) const;
+
+  const SusceptibilityGroup& group(attack::AttackVector vector,
+                                   attack::AttackTarget target,
+                                   double fraction) const;
+};
+
+struct SusceptibilityOptions {
+  std::size_t seed_count = 10;
+  std::uint64_t base_seed = 1000;
+  std::string cache_dir;  // empty disables result caching
+  bool verbose = false;
+};
+
+/// Full analysis for one model setup using its Original variant from `zoo`.
+SusceptibilityReport run_susceptibility(const ExperimentSetup& setup,
+                                        ModelZoo& zoo,
+                                        const SusceptibilityOptions& options);
+
+/// Grid evaluation of an externally provided evaluator (used by the
+/// mitigation analysis to sweep variants).
+std::vector<SusceptibilityRow> evaluate_grid(
+    AttackEvaluator& evaluator,
+    const std::vector<attack::AttackScenario>& scenarios, bool verbose);
+
+}  // namespace safelight::core

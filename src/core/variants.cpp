@@ -1,0 +1,35 @@
+#include "core/variants.hpp"
+
+#include "common/error.hpp"
+
+namespace safelight::core {
+
+std::vector<VariantSpec> paper_variants(float l2_strength) {
+  require(l2_strength > 0.0f, "paper_variants: L2 strength must be positive");
+  std::vector<VariantSpec> variants;
+  variants.push_back({"Original", 0.0f, 0.0f});
+  variants.push_back({"L2_reg", l2_strength, 0.0f});
+  for (int i = 1; i <= 9; ++i) {
+    variants.push_back({"l2+n" + std::to_string(i), l2_strength,
+                        static_cast<float>(i) * 0.1f});
+  }
+  return variants;
+}
+
+VariantSpec variant_by_name(const std::string& name, float l2_strength) {
+  for (const auto& variant : paper_variants(l2_strength)) {
+    if (variant.name == name) return variant;
+  }
+  fail_argument("variant_by_name: unknown variant '" + name + "'");
+}
+
+nn::TrainConfig apply_variant(const nn::TrainConfig& base,
+                              const VariantSpec& variant) {
+  nn::TrainConfig config = base;
+  config.weight_decay = variant.weight_decay;
+  config.noise.sigma = variant.noise_sigma;
+  config.noise.mode = nn::NoiseMode::kRelativeToStd;
+  return config;
+}
+
+}  // namespace safelight::core

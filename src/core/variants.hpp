@@ -1,0 +1,42 @@
+// Mitigation variant factory (paper §V / §VI).
+//
+// Eleven variants per model, matching Fig. 8's x-axis:
+//   Original  — no regularization, no noise
+//   L2_reg    — L2 regularization only
+//   l2+n1 ... l2+n9 — L2 + Gaussian noise-aware training with
+//                     sigma = 0.1 ... 0.9
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace safelight::core {
+
+struct VariantSpec {
+  std::string name;
+  float weight_decay = 0.0f;  // L2 strength
+  float noise_sigma = 0.0f;   // noise-aware training sigma (relative-to-max)
+
+  bool is_original() const { return name == "Original"; }
+};
+
+/// Default L2 strength for the regularized variants. Chosen so L2_reg does
+/// not cost the largest model (VGG16_v at reduced scale) its clean accuracy;
+/// sweepable through the *_strength parameters below.
+inline constexpr float kDefaultL2Strength = 3e-4f;
+
+/// The paper's 11 variants. `l2_strength` applies to every L2 variant.
+std::vector<VariantSpec> paper_variants(
+    float l2_strength = kDefaultL2Strength);
+
+/// Looks up a variant by name; throws std::invalid_argument when unknown.
+VariantSpec variant_by_name(const std::string& name,
+                            float l2_strength = kDefaultL2Strength);
+
+/// Applies a variant to a base training config.
+nn::TrainConfig apply_variant(const nn::TrainConfig& base,
+                              const VariantSpec& variant);
+
+}  // namespace safelight::core

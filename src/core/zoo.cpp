@@ -1,0 +1,101 @@
+#include "core/zoo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace safelight::core {
+
+ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {
+  if (directory_.empty()) {
+    directory_ = env_string("SAFELIGHT_ZOO", "safelight_zoo");
+  }
+  std::filesystem::create_directories(directory_);
+}
+
+namespace {
+
+/// Short fingerprint of everything that influences a trained entry: model
+/// hyper-parameters, dataset recipe and training configuration. Changing
+/// any of them retrains instead of silently loading a stale cache.
+std::string config_fingerprint(const ExperimentSetup& setup,
+                               const VariantSpec& variant) {
+  const nn::TrainConfig train = apply_variant(setup.base_train, variant);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_float = [&mix](float f) {
+    mix(static_cast<std::uint64_t>(std::llround(static_cast<double>(f) *
+                                                1e6)));
+  };
+  mix(setup.model_config.image_size);
+  mix(setup.model_config.width);
+  mix(setup.model_config.fc_dim);
+  mix_float(setup.model_config.dropout);
+  mix(setup.model_config.seed);
+  mix(setup.train_data.count);
+  mix(setup.train_data.seed);
+  mix_float(setup.train_data.noise);
+  mix(train.epochs);
+  mix(train.batch_size);
+  mix_float(train.lr);
+  mix_float(train.momentum);
+  mix_float(train.weight_decay);
+  mix_float(train.noise.sigma);
+  mix(static_cast<std::uint64_t>(train.noise.mode));
+  mix(train.seed);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%08llx",
+                static_cast<unsigned long long>(h & 0xffffffffULL));
+  return buf;
+}
+
+}  // namespace
+
+std::string ModelZoo::entry_path(const ExperimentSetup& setup,
+                                 const VariantSpec& variant) const {
+  return directory_ + "/" + setup.tag() + "_" + variant.name + "_" +
+         config_fingerprint(setup, variant) + ".slw";
+}
+
+bool ModelZoo::has_entry(const ExperimentSetup& setup,
+                         const VariantSpec& variant) {
+  auto model = nn::make_model(setup.model, setup.model_config);
+  return nn::model_file_matches(*model, entry_path(setup, variant));
+}
+
+std::unique_ptr<nn::Sequential> ModelZoo::get_or_train(
+    const ExperimentSetup& setup, const VariantSpec& variant, bool verbose) {
+  auto model = nn::make_model(setup.model, setup.model_config);
+  const std::string path = entry_path(setup, variant);
+  if (nn::model_file_matches(*model, path)) {
+    nn::load_model(*model, path);
+    return model;
+  }
+
+  if (verbose) {
+    std::printf("[zoo] training %s / %s ...\n", setup.tag().c_str(),
+                variant.name.c_str());
+    std::fflush(stdout);
+  }
+  const nn::Dataset train = make_train_data(setup);
+  const nn::Dataset test = make_test_data(setup);
+  nn::TrainConfig config = apply_variant(setup.base_train, variant);
+  config.verbose = verbose;
+  const nn::TrainHistory history = train_model(*model, train, test, config);
+  if (verbose) {
+    std::printf("[zoo] %s / %s trained: test acc %.4f\n", setup.tag().c_str(),
+                variant.name.c_str(), history.final_test_acc);
+    std::fflush(stdout);
+  }
+  nn::save_model(*model, path);
+  return model;
+}
+
+}  // namespace safelight::core

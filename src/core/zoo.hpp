@@ -1,0 +1,44 @@
+// Model zoo: trains mitigation variants on demand and caches weights.
+//
+// The experiment benches share trained models through an on-disk cache
+// (SAFELIGHT_ZOO, default ./safelight_zoo). Each entry is keyed by
+// (model, scale, variant); the cache file stores all parameters plus
+// batch-norm running statistics and is integrity-checked on load, so a
+// corrupt or architecture-mismatched file triggers retraining instead of
+// silent misbehaviour.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/experiment_scale.hpp"
+#include "core/variants.hpp"
+
+namespace safelight::core {
+
+class ModelZoo {
+ public:
+  /// Uses SAFELIGHT_ZOO (or ./safelight_zoo) when `directory` is empty.
+  /// Creates the directory when missing.
+  explicit ModelZoo(std::string directory = "");
+
+  const std::string& directory() const { return directory_; }
+
+  /// Cache file path of a (setup, variant) entry.
+  std::string entry_path(const ExperimentSetup& setup,
+                         const VariantSpec& variant) const;
+
+  /// Loads the cached model or trains + caches it. The returned model is in
+  /// its clean (un-conditioned, un-attacked) trained state.
+  std::unique_ptr<nn::Sequential> get_or_train(const ExperimentSetup& setup,
+                                               const VariantSpec& variant,
+                                               bool verbose = false);
+
+  /// True when a structurally valid cache entry exists.
+  bool has_entry(const ExperimentSetup& setup, const VariantSpec& variant);
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace safelight::core

@@ -1,0 +1,58 @@
+#include "nn/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor out = x;
+  if (train) {
+    mask_.assign(x.numel(), false);
+    cached_shape_ = x.shape();
+  }
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0f) {
+      if (train) mask_[i] = true;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  require(!mask_.empty(), "ReLU::backward called without forward(train=true)");
+  require(grad_out.shape() == cached_shape_,
+          "ReLU::backward: grad shape mismatch");
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    if (!mask_[i]) grad_in[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor softmax2d(const Tensor& logits) {
+  require(logits.rank() == 2, "softmax2d: expected [N,C]");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* orow = out.data() + n * classes;
+    const float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      denom += orow[c];
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      orow[c] = static_cast<float>(orow[c] / denom);
+    }
+  }
+  return out;
+}
+
+}  // namespace safelight::nn

@@ -1,0 +1,158 @@
+#include "nn/conv.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "nn/gemm.hpp"
+
+namespace safelight::nn {
+
+Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+               std::size_t stride, std::size_t pad, Rng& rng, bool bias)
+    : in_c_(in_c), out_c_(out_c), kernel_(kernel), stride_(stride), pad_(pad),
+      has_bias_(bias) {
+  require(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0,
+          "Conv2d: channels, kernel and stride must be positive");
+  weight_ = Param("conv.weight", ParamKind::kConvWeight,
+                  Tensor({out_c_, in_c_ * kernel_ * kernel_}));
+  kaiming_init(weight_.value, in_c_ * kernel_ * kernel_, rng);
+  if (has_bias_) {
+    bias_ = Param("conv.bias", ParamKind::kElectronic, Tensor({out_c_}));
+  }
+}
+
+ConvGeom Conv2d::geom_for(const Shape& in) const {
+  require(in.size() == 4, "Conv2d: expected [N,C,H,W], got " +
+                              shape_to_string(in));
+  require(in[1] == in_c_, "Conv2d: expected " + std::to_string(in_c_) +
+                              " input channels, got " + std::to_string(in[1]));
+  ConvGeom g;
+  g.in_c = in_c_;
+  g.in_h = in[2];
+  g.in_w = in[3];
+  g.k_h = g.k_w = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  require(g.valid(), "Conv2d: kernel does not fit input " +
+                         shape_to_string(in));
+  return g;
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  const ConvGeom g = geom_for(in);
+  return {in[0], out_c_, g.out_h(), g.out_w()};
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  const ConvGeom g = geom_for(x.shape());
+  const std::size_t batch = x.dim(0);
+  const std::size_t hw = g.out_hw();
+  const std::size_t patch = g.patch_len();
+  Tensor out({batch, out_c_, g.out_h(), g.out_w()});
+
+  const float* w = weight_.value.data();
+  const float* b = has_bias_ ? bias_.value.data() : nullptr;
+  parallel_for_chunks(
+      0, batch,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<float> cols(patch * hw);
+        for (std::size_t n = lo; n < hi; ++n) {
+          im2col(x.data() + n * in_c_ * g.in_h * g.in_w, g, cols.data());
+          float* out_n = out.data() + n * out_c_ * hw;
+          gemm(w, cols.data(), out_n, out_c_, patch, hw);
+          if (b != nullptr) {
+            for (std::size_t o = 0; o < out_c_; ++o) {
+              float* row = out_n + o * hw;
+              for (std::size_t i = 0; i < hw; ++i) row[i] += b[o];
+            }
+          }
+        }
+      },
+      1);
+
+  if (train) {
+    cached_input_ = x;
+  } else {
+    cached_input_ = Tensor();
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  require(!cached_input_.empty(),
+          "Conv2d::backward called without forward(train=true)");
+  const Tensor& x = cached_input_;
+  const ConvGeom g = geom_for(x.shape());
+  const std::size_t batch = x.dim(0);
+  const std::size_t hw = g.out_hw();
+  const std::size_t patch = g.patch_len();
+  require(grad_out.shape() == output_shape(x.shape()),
+          "Conv2d::backward: grad shape mismatch");
+
+  Tensor grad_in(x.shape());
+  const float* w = weight_.value.data();
+
+  // Per-chunk gradient accumulators avoid data races; with at most
+  // worker_count() chunks the merge cost is negligible.
+  const std::size_t workers = worker_count();
+  std::vector<Tensor> gw_parts;
+  std::vector<Tensor> gb_parts;
+  for (std::size_t i = 0; i < workers; ++i) {
+    gw_parts.emplace_back(weight_.value.shape());
+    gb_parts.emplace_back(Shape{out_c_});
+  }
+  std::atomic<std::size_t> next_part{0};
+
+  parallel_for_chunks(
+      0, batch,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::size_t part = next_part.fetch_add(1);
+        SAFELIGHT_ASSERT(part < gw_parts.size(),
+                         "Conv2d::backward: more chunks than workers");
+        float* gw = gw_parts[part].data();
+        float* gb = gb_parts[part].data();
+        std::vector<float> cols(patch * hw);
+        std::vector<float> cols_grad(patch * hw);
+        for (std::size_t n = lo; n < hi; ++n) {
+          const float* gout_n = grad_out.data() + n * out_c_ * hw;
+          im2col(x.data() + n * in_c_ * g.in_h * g.in_w, g, cols.data());
+          // dW += gout_n [outC x hw] * cols^T [hw x patch]
+          gemm_bt(gout_n, cols.data(), gw, out_c_, hw, patch,
+                  /*accumulate=*/true);
+          if (has_bias_) {
+            for (std::size_t o = 0; o < out_c_; ++o) {
+              const float* row = gout_n + o * hw;
+              float acc = 0.0f;
+              for (std::size_t i = 0; i < hw; ++i) acc += row[i];
+              gb[o] += acc;
+            }
+          }
+          // dcols = W^T [patch x outC] * gout_n [outC x hw]
+          gemm_at(w, gout_n, cols_grad.data(), patch, out_c_, hw);
+          col2im(cols_grad.data(), g,
+                 grad_in.data() + n * in_c_ * g.in_h * g.in_w);
+        }
+      },
+      1);
+
+  for (std::size_t i = 0; i < workers; ++i) {
+    weight_.grad += gw_parts[i];
+    if (has_bias_) bias_.grad += gb_parts[i];
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(in_c_) + "->" + std::to_string(out_c_) +
+         ",k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) +
+         ",p" + std::to_string(pad_) + ")";
+}
+
+}  // namespace safelight::nn

@@ -1,0 +1,96 @@
+#include "nn/dataset.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+Shape Dataset::sample_shape() const {
+  require(images.rank() == 4, "Dataset: images must be [N,C,H,W]");
+  return {images.dim(1), images.dim(2), images.dim(3)};
+}
+
+std::pair<Tensor, std::vector<int>> Dataset::batch(std::size_t begin,
+                                                   std::size_t end) const {
+  require(begin < end && end <= size(), "Dataset::batch: bad range");
+  const std::size_t per_sample = images.numel() / size();
+  Tensor out({end - begin, images.dim(1), images.dim(2), images.dim(3)});
+  std::copy(images.data() + begin * per_sample,
+            images.data() + end * per_sample, out.data());
+  return {std::move(out),
+          std::vector<int>(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                           labels.begin() + static_cast<std::ptrdiff_t>(end))};
+}
+
+std::pair<Tensor, std::vector<int>> Dataset::gather(
+    const std::vector<std::size_t>& indices) const {
+  require(!indices.empty(), "Dataset::gather: empty index set");
+  const std::size_t per_sample = images.numel() / size();
+  Tensor out({indices.size(), images.dim(1), images.dim(2), images.dim(3)});
+  std::vector<int> out_labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    require(indices[i] < size(), "Dataset::gather: index out of range");
+    std::copy(images.data() + indices[i] * per_sample,
+              images.data() + (indices[i] + 1) * per_sample,
+              out.data() + i * per_sample);
+    out_labels[i] = labels[indices[i]];
+  }
+  return {std::move(out), std::move(out_labels)};
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  n = std::min(n, size());
+  require(n > 0, "Dataset::take: cannot take zero samples");
+  auto [imgs, labs] = batch(0, n);
+  Dataset out;
+  out.images = std::move(imgs);
+  out.labels = std::move(labs);
+  out.num_classes = num_classes;
+  out.name = name;
+  return out;
+}
+
+void Dataset::validate() const {
+  require(images.rank() == 4, "Dataset: images must be [N,C,H,W]");
+  require(images.dim(0) == labels.size(),
+          "Dataset: image/label count mismatch");
+  require(num_classes > 0, "Dataset: num_classes must be positive");
+  for (int label : labels) {
+    require(label >= 0 && static_cast<std::size_t>(label) < num_classes,
+            "Dataset: label out of range");
+  }
+  require(images.all_finite(), "Dataset: non-finite pixel values");
+}
+
+BatchIterator::BatchIterator(const Dataset& data, std::size_t batch_size,
+                             Rng& rng, bool shuffle)
+    : data_(data), batch_size_(batch_size), shuffle_(shuffle) {
+  require(batch_size > 0, "BatchIterator: batch size must be positive");
+  reset(rng);
+}
+
+void BatchIterator::reset(Rng& rng) {
+  if (shuffle_) {
+    order_ = rng.permutation(data_.size());
+  } else {
+    order_.resize(data_.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+  }
+  cursor_ = 0;
+}
+
+bool BatchIterator::next(Tensor& images, std::vector<int>& labels) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end = std::min(order_.size(), cursor_ + batch_size_);
+  std::vector<std::size_t> indices(
+      order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+      order_.begin() + static_cast<std::ptrdiff_t>(end));
+  auto [imgs, labs] = data_.gather(indices);
+  images = std::move(imgs);
+  labels = std::move(labs);
+  cursor_ = end;
+  return true;
+}
+
+}  // namespace safelight::nn

@@ -1,0 +1,57 @@
+// Labeled image dataset container and batching utilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace safelight::nn {
+
+/// A labeled dataset of images stored as one [N,C,H,W] tensor.
+struct Dataset {
+  Tensor images;            // [N, C, H, W]
+  std::vector<int> labels;  // size N, values in [0, num_classes)
+  std::size_t num_classes = 0;
+  std::string name;
+
+  std::size_t size() const { return labels.size(); }
+  Shape sample_shape() const;  // [C, H, W]
+
+  /// Copies samples [begin, end) into a new batch tensor + label vector.
+  std::pair<Tensor, std::vector<int>> batch(std::size_t begin,
+                                            std::size_t end) const;
+
+  /// Copies an arbitrary index subset.
+  std::pair<Tensor, std::vector<int>> gather(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Returns a dataset with the first `n` samples (n clamped to size()).
+  Dataset take(std::size_t n) const;
+
+  /// Validates internal consistency; throws on violation.
+  void validate() const;
+};
+
+/// Iterates minibatches over a (shuffled) index permutation.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& data, std::size_t batch_size, Rng& rng,
+                bool shuffle);
+
+  /// Returns false when the epoch is exhausted.
+  bool next(Tensor& images, std::vector<int>& labels);
+
+  void reset(Rng& rng);
+
+ private:
+  const Dataset& data_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace safelight::nn

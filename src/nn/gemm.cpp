@@ -1,0 +1,84 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace safelight::nn {
+
+namespace {
+
+// Rows of A per parallel grain; keeps thread spawn overhead negligible for
+// the small matrices that dominate reduced-scale training.
+constexpr std::size_t kRowGrain = 16;
+constexpr std::size_t kBlockK = 64;
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  parallel_for_chunks(
+      0, m,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          float* crow = c + i * n;
+          if (!accumulate) std::memset(crow, 0, n * sizeof(float));
+          for (std::size_t kk = 0; kk < k; kk += kBlockK) {
+            const std::size_t k_end = std::min(k, kk + kBlockK);
+            for (std::size_t p = kk; p < k_end; ++p) {
+              const float av = a[i * k + p];
+              if (av == 0.0f) continue;
+              const float* brow = b + p * n;
+              for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        }
+      },
+      kRowGrain);
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  parallel_for_chunks(
+      0, m,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = accumulate ? crow[j] : 0.0f;
+            for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+          }
+        }
+      },
+      kRowGrain);
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  // Parallelizing over output rows of C (columns of A) keeps writes disjoint.
+  parallel_for_chunks(
+      0, m,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          float* crow = c + i * n;
+          if (!accumulate) std::memset(crow, 0, n * sizeof(float));
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = a[p * m + i];
+            if (av == 0.0f) continue;
+            const float* brow = b + p * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      kRowGrain);
+}
+
+}  // namespace safelight::nn

@@ -1,0 +1,25 @@
+// Blocked single-precision GEMM kernels.
+//
+// All convolution and fully-connected compute lowers onto these three
+// routines. They are cache-blocked and parallelized over output rows with
+// common/parallel.hpp; on the 2-core reproduction host they reach a few
+// GFLOP/s, which sizes the experiment defaults in core/experiment_scale.
+#pragma once
+
+#include <cstddef>
+
+namespace safelight::nn {
+
+/// C[m x n] = A[m x k] * B[k x n] (+ C when accumulate). Row-major, no alias.
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate = false);
+
+/// C[m x n] = A[m x k] * B^T where B is [n x k]. Row-major, no alias.
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate = false);
+
+/// C[m x n] = A^T * B where A is [k x m], B is [k x n]. Row-major, no alias.
+void gemm_at(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate = false);
+
+}  // namespace safelight::nn

@@ -1,0 +1,59 @@
+#include "nn/im2col.hpp"
+
+namespace safelight::nn {
+
+void im2col(const float* image, const ConvGeom& g, float* columns) {
+  const std::size_t out_h = g.out_h();
+  const std::size_t out_w = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t kh = 0; kh < g.k_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.k_w; ++kw, ++row) {
+        float* out_row = columns + row * out_h * out_w;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          // ih/iw computed in signed space because padding can go negative.
+          const long ih = static_cast<long>(oh * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          const bool row_ok =
+              ih >= 0 && ih < static_cast<long>(g.in_h);
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const long iw = static_cast<long>(ow * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            const bool ok = row_ok && iw >= 0 && iw < static_cast<long>(g.in_w);
+            out_row[oh * out_w + ow] =
+                ok ? image[(c * g.in_h + static_cast<std::size_t>(ih)) * g.in_w +
+                           static_cast<std::size_t>(iw)]
+                   : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, const ConvGeom& g, float* image) {
+  const std::size_t out_h = g.out_h();
+  const std::size_t out_w = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t kh = 0; kh < g.k_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.k_w; ++kw, ++row) {
+        const float* in_row = columns + row * out_h * out_w;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const long ih = static_cast<long>(oh * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (ih < 0 || ih >= static_cast<long>(g.in_h)) continue;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const long iw = static_cast<long>(ow * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            if (iw < 0 || iw >= static_cast<long>(g.in_w)) continue;
+            image[(c * g.in_h + static_cast<std::size_t>(ih)) * g.in_w +
+                  static_cast<std::size_t>(iw)] += in_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace safelight::nn

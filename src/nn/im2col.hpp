@@ -1,0 +1,40 @@
+// im2col / col2im lowering for 2-D convolution.
+//
+// Convolution forward becomes one GEMM per batch over the unrolled patch
+// matrix; backward-to-input uses col2im to scatter patch gradients back.
+#pragma once
+
+#include <cstddef>
+
+namespace safelight::nn {
+
+/// Geometry of one conv lowering. All fields in elements (not bytes).
+struct ConvGeom {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t k_h = 0, k_w = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - k_h) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - k_w) / stride + 1; }
+  /// Rows of the patch matrix: in_c * k_h * k_w.
+  std::size_t patch_len() const { return in_c * k_h * k_w; }
+  /// Columns of the patch matrix: out_h * out_w.
+  std::size_t out_hw() const { return out_h() * out_w(); }
+  /// True when the geometry produces at least one output pixel.
+  bool valid() const {
+    return in_h + 2 * pad >= k_h && in_w + 2 * pad >= k_w && stride > 0 &&
+           in_c > 0 && k_h > 0 && k_w > 0;
+  }
+};
+
+/// Unrolls a single image [C,H,W] into columns [patch_len x out_hw].
+/// Out-of-bounds (padding) taps contribute zeros.
+void im2col(const float* image, const ConvGeom& g, float* columns);
+
+/// Scatters columns [patch_len x out_hw] back into an image [C,H,W],
+/// accumulating overlapping contributions. `image` must be zeroed by the
+/// caller beforehand.
+void col2im(const float* columns, const ConvGeom& g, float* image);
+
+}  // namespace safelight::nn

@@ -1,0 +1,17 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+void kaiming_init(Tensor& w, std::size_t fan_in, Rng& rng) {
+  require(fan_in > 0, "kaiming_init: fan_in must be positive");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+}
+
+}  // namespace safelight::nn

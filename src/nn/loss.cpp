@@ -1,0 +1,48 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+LossResult cross_entropy(const Tensor& logits,
+                         const std::vector<int>& labels) {
+  require(logits.rank() == 2, "cross_entropy: logits must be [N,C]");
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  require(labels.size() == batch,
+          "cross_entropy: label count does not match batch");
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double total = 0.0;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const int label = labels[n];
+    require(label >= 0 && static_cast<std::size_t>(label) < classes,
+            "cross_entropy: label out of range");
+    const float* row = logits.data() + n * classes;
+    float* grow = result.grad.data() + n * classes;
+
+    const float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c]) - mx);
+    }
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[label]) - mx - log_denom);
+
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(row[c]) - mx - log_denom);
+      grow[c] = static_cast<float>(p) * inv_batch;
+    }
+    grow[label] -= inv_batch;
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace safelight::nn

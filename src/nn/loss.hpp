@@ -1,0 +1,19 @@
+// Softmax cross-entropy loss (fused log-softmax + NLL).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace safelight::nn {
+
+struct LossResult {
+  double loss = 0.0;   // mean over the batch
+  Tensor grad;         // dL/dlogits, [N, classes]
+};
+
+/// Computes mean cross-entropy of logits [N,C] against integer labels and
+/// the gradient w.r.t. the logits. Labels must be in [0, C).
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace safelight::nn

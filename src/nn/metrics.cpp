@@ -1,0 +1,120 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  require(num_classes > 0, "ConfusionMatrix: need at least one class");
+}
+
+std::size_t ConfusionMatrix::index(int truth, int prediction) const {
+  require(truth >= 0 && static_cast<std::size_t>(truth) < classes_,
+          "ConfusionMatrix: truth label out of range");
+  require(prediction >= 0 &&
+              static_cast<std::size_t>(prediction) < classes_,
+          "ConfusionMatrix: prediction out of range");
+  return static_cast<std::size_t>(truth) * classes_ +
+         static_cast<std::size_t>(prediction);
+}
+
+void ConfusionMatrix::record(int truth, int prediction) {
+  ++counts_[index(truth, prediction)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int prediction) const {
+  return counts_[index(truth, prediction)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    correct += counts_[c * classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int truth) const {
+  const std::size_t row = static_cast<std::size_t>(truth) * classes_;
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < classes_; ++p) row_total += counts_[row + p];
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(truth, truth)) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(int prediction) const {
+  std::size_t col_total = 0;
+  for (std::size_t t = 0; t < classes_; ++t) {
+    col_total += counts_[t * classes_ + static_cast<std::size_t>(prediction)];
+  }
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(count(prediction, prediction)) /
+         static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t t = 0; t < classes_; ++t) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < classes_; ++p) {
+      row_total += counts_[t * classes_ + p];
+    }
+    if (row_total == 0) continue;
+    ++seen;
+    sum += recall(static_cast<int>(t));
+  }
+  return seen == 0 ? 0.0 : sum / static_cast<double>(seen);
+}
+
+double ConfusionMatrix::prediction_collapse() const {
+  if (total_ == 0) return 0.0;
+  std::size_t best = 0;
+  for (std::size_t p = 0; p < classes_; ++p) {
+    std::size_t col_total = 0;
+    for (std::size_t t = 0; t < classes_; ++t) {
+      col_total += counts_[t * classes_ + p];
+    }
+    best = std::max(best, col_total);
+  }
+  return static_cast<double>(best) / static_cast<double>(total_);
+}
+
+std::string ConfusionMatrix::render() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (std::size_t p = 0; p < classes_; ++p) os << '\t' << p;
+  os << '\n';
+  for (std::size_t t = 0; t < classes_; ++t) {
+    os << t;
+    for (std::size_t p = 0; p < classes_; ++p) {
+      os << '\t' << counts_[t * classes_ + p];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+ConfusionMatrix confusion_matrix(Sequential& model, const Dataset& data,
+                                 std::size_t batch_size) {
+  data.validate();
+  ConfusionMatrix matrix(data.num_classes);
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(data.size(), begin + batch_size);
+    auto [images, labels] = data.batch(begin, end);
+    const std::vector<int> preds = model.predict(images);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      matrix.record(labels[i], preds[i]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace safelight::nn

@@ -1,0 +1,62 @@
+// Classification metrics beyond plain accuracy.
+//
+// Attack analyses benefit from class-level visibility: hotspot corruption
+// tends to collapse predictions onto a few classes (saturated logits),
+// while scattered actuation noise degrades classes more uniformly. The
+// confusion matrix exposes that structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace safelight::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Records one (true label, predicted label) observation.
+  void record(int truth, int prediction);
+
+  /// Counts at (truth, prediction).
+  std::size_t count(int truth, int prediction) const;
+
+  std::size_t num_classes() const { return classes_; }
+  std::size_t total() const { return total_; }
+
+  /// Overall accuracy; 0 when empty.
+  double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 for unseen classes.
+  double recall(int truth) const;
+
+  /// Precision of one class (diagonal / column sum); 0 when never predicted.
+  double precision(int prediction) const;
+
+  /// Mean per-class recall (balanced accuracy); ignores unseen classes.
+  double balanced_accuracy() const;
+
+  /// Fraction of all predictions landing on the most-predicted class.
+  /// 1/num_classes for uniform predictions, ~1.0 for a collapsed model.
+  double prediction_collapse() const;
+
+  /// Multi-line fixed-width rendering (rows = truth, cols = prediction).
+  std::string render() const;
+
+ private:
+  std::size_t index(int truth, int prediction) const;
+
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major [truth][prediction]
+};
+
+/// Evaluates `model` over `data` and accumulates the confusion matrix.
+ConfusionMatrix confusion_matrix(Sequential& model, const Dataset& data,
+                                 std::size_t batch_size = 64);
+
+}  // namespace safelight::nn

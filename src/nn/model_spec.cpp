@@ -1,0 +1,72 @@
+#include "nn/model_spec.hpp"
+
+namespace safelight::nn {
+
+std::size_t ModelSpec::conv_params() const {
+  std::size_t total = 0;
+  for (const auto& c : convs) total += c.params();
+  return total;
+}
+
+std::size_t ModelSpec::fc_params() const {
+  std::size_t total = 0;
+  for (const auto& f : fcs) total += f.params();
+  return total;
+}
+
+std::size_t ModelSpec::total_params() const {
+  return conv_params() + fc_params() + electronic_params;
+}
+
+ModelSpec spec_cnn1() {
+  ModelSpec s;
+  s.name = "CNN_1";
+  s.dataset = "MNIST";
+  s.convs = {{1, 6, 5, true}, {6, 16, 5, true}};
+  s.fcs = {{256, 120, true}, {120, 84, true}, {84, 10, true}};
+  return s;
+}
+
+ModelSpec spec_resnet18(std::size_t width) {
+  ModelSpec s;
+  s.name = "ResNet18";
+  s.dataset = "CIFAR10";
+  const std::size_t w = width;
+  auto conv3 = [](std::size_t in, std::size_t out) {
+    return ConvLayerSpec{in, out, 3, /*bias=*/false};
+  };
+  s.convs.push_back(conv3(3, w));  // stem
+  const std::size_t widths[4] = {w, 2 * w, 4 * w, 8 * w};
+  std::size_t in_c = w;
+  std::size_t bn_channels = w;  // stem BN
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    const std::size_t out_c = widths[stage];
+    // Two basic blocks per stage; two 3x3 convs + two BNs per block.
+    s.convs.push_back(conv3(in_c, out_c));
+    s.convs.push_back(conv3(out_c, out_c));
+    s.convs.push_back(conv3(out_c, out_c));
+    s.convs.push_back(conv3(out_c, out_c));
+    bn_channels += 8 * out_c;
+    in_c = out_c;
+  }
+  s.fcs = {{8 * w, 10, true}};
+  s.electronic_params = 2 * bn_channels;  // gamma + beta per channel
+  return s;
+}
+
+ModelSpec spec_vgg16v() {
+  ModelSpec s;
+  s.name = "VGG16_v";
+  s.dataset = "Imagenette";
+  const std::size_t ladder[6] = {64, 128, 128, 256, 512, 512};
+  std::size_t in_c = 3;
+  for (std::size_t out_c : ladder) {
+    s.convs.push_back({in_c, out_c, 3, true});
+    in_c = out_c;
+  }
+  // Five pools: 224 -> 7; classifier input 512*7*7 = 25088.
+  s.fcs = {{25088, 4096, true}, {4096, 4096, true}, {4096, 10, true}};
+  return s;
+}
+
+}  // namespace safelight::nn

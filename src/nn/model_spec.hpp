@@ -1,0 +1,59 @@
+// Analytic model specifications for Table I.
+//
+// The paper's Table I reports parameter counts for the full-scale models
+// (VGG16_v alone has 123.5M parameters, ~494 MB as float32). These specs
+// compute the counts symbolically so the Table I bench never allocates the
+// full models.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace safelight::nn {
+
+struct ConvLayerSpec {
+  std::size_t in_c = 0, out_c = 0, kernel = 0;
+  bool bias = true;
+
+  std::size_t params() const {
+    return out_c * in_c * kernel * kernel + (bias ? out_c : 0);
+  }
+};
+
+struct FcLayerSpec {
+  std::size_t in_f = 0, out_f = 0;
+  bool bias = true;
+
+  std::size_t params() const { return out_f * in_f + (bias ? out_f : 0); }
+};
+
+struct ModelSpec {
+  std::string name;
+  std::string dataset;
+  std::vector<ConvLayerSpec> convs;
+  std::vector<FcLayerSpec> fcs;
+  /// Electronic-domain parameters (batch-norm gammas/betas); included in the
+  /// total but never mapped onto MRs.
+  std::size_t electronic_params = 0;
+
+  std::size_t conv_layer_count() const { return convs.size(); }
+  std::size_t fc_layer_count() const { return fcs.size(); }
+  std::size_t conv_params() const;
+  std::size_t fc_params() const;
+  std::size_t total_params() const;
+};
+
+/// CNN_1 (LeNet-5-shaped MNIST classifier, paper: 2.6K conv / 41.6K fc).
+ModelSpec spec_cnn1();
+
+/// ResNet18 with option-A shortcuts at the given stem width (paper scale 64;
+/// the paper reports 4.7M conv parameters, which corresponds to width ~42 —
+/// both are worth printing side by side).
+ModelSpec spec_resnet18(std::size_t width = 64);
+
+/// VGG16 variant with 6 conv + 3 FC at 224x224 (paper: 3.9M conv /
+/// 119.6M fc / 123.5M total).
+ModelSpec spec_vgg16v();
+
+}  // namespace safelight::nn

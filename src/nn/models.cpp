@@ -1,0 +1,125 @@
+#include "nn/models.hpp"
+
+#include "common/error.hpp"
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
+namespace safelight::nn {
+
+std::string to_string(ModelId id) {
+  switch (id) {
+    case ModelId::kCnn1: return "cnn1";
+    case ModelId::kResNet18: return "resnet18";
+    case ModelId::kVgg16v: break;
+  }
+  return "vgg16v";
+}
+
+ModelId model_id_from_string(const std::string& name) {
+  if (name == "cnn1") return ModelId::kCnn1;
+  if (name == "resnet18") return ModelId::kResNet18;
+  if (name == "vgg16v") return ModelId::kVgg16v;
+  fail_argument("model_id_from_string: unknown model '" + name + "'");
+}
+
+std::unique_ptr<Sequential> make_cnn1(const ModelConfig& config) {
+  require(config.image_size >= 16,
+          "make_cnn1: LeNet layout needs image size >= 16");
+  Rng rng(config.seed);
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2d>(config.in_channels, 6, 5, 1, 0, rng);
+  model->emplace<ReLU>();
+  model->emplace<MaxPool2d>(2);
+  model->emplace<Conv2d>(6, 16, 5, 1, 0, rng);
+  model->emplace<ReLU>();
+  model->emplace<MaxPool2d>(2);
+  model->emplace<Flatten>();
+  const std::size_t post = ((config.image_size - 4) / 2 - 4) / 2;
+  model->emplace<Linear>(16 * post * post, 120, rng);
+  model->emplace<ReLU>();
+  model->emplace<Linear>(120, 84, rng);
+  model->emplace<ReLU>();
+  model->emplace<Linear>(84, config.classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_resnet18(const ModelConfig& config) {
+  require(config.width >= 2, "make_resnet18: width must be >= 2");
+  require(config.image_size >= 8, "make_resnet18: image size must be >= 8");
+  Rng rng(config.seed);
+  auto model = std::make_unique<Sequential>();
+  const std::size_t w = config.width;
+  // CIFAR-style stem (3x3, stride 1) — the paper's 17-conv count implies no
+  // 7x7 stem and no projection shortcuts.
+  model->emplace<Conv2d>(config.in_channels, w, 3, 1, 1, rng, /*bias=*/false);
+  model->emplace<BatchNorm2d>(w);
+  model->emplace<ReLU>();
+  const std::size_t widths[4] = {w, 2 * w, 4 * w, 8 * w};
+  std::size_t in_c = w;
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    const std::size_t out_c = widths[stage];
+    const std::size_t first_stride = stage == 0 ? 1 : 2;
+    model->emplace<BasicBlock>(in_c, out_c, first_stride, rng);
+    model->emplace<BasicBlock>(out_c, out_c, 1, rng);
+    in_c = out_c;
+  }
+  model->emplace<GlobalAvgPool>();
+  model->emplace<Flatten>();
+  model->emplace<Linear>(8 * w, config.classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_vgg16v(const ModelConfig& config) {
+  require(config.width >= 8 && config.width % 8 == 0,
+          "make_vgg16v: width must be a positive multiple of 8");
+  Rng rng(config.seed);
+  auto model = std::make_unique<Sequential>();
+  // Conv ladder scaled from the paper-scale [64,128,128,256,512,512].
+  const std::size_t scale = config.width;  // paper scale: 64
+  const std::size_t ladder[6] = {scale,     2 * scale, 2 * scale,
+                                 4 * scale, 8 * scale, 8 * scale};
+  // Five pools shrink 224 -> 7 at paper scale; pools are skipped once the
+  // spatial size reaches 1 so reduced-resolution variants stay valid.
+  std::size_t spatial = config.image_size;
+  std::size_t in_c = config.in_channels;
+  for (std::size_t i = 0; i < 6; ++i) {
+    model->emplace<Conv2d>(in_c, ladder[i], 3, 1, 1, rng);
+    model->emplace<ReLU>();
+    const bool want_pool = i < 5;  // pools after conv1..conv5
+    if (want_pool && spatial >= 2) {
+      model->emplace<MaxPool2d>(2);
+      spatial /= 2;
+    }
+    in_c = ladder[i];
+  }
+  model->emplace<Flatten>();
+  const std::size_t flat = in_c * spatial * spatial;
+  model->emplace<Linear>(flat, config.fc_dim, rng);
+  model->emplace<ReLU>();
+  if (config.dropout > 0.0f) {
+    model->emplace<Dropout>(config.dropout, config.seed + 101);
+  }
+  model->emplace<Linear>(config.fc_dim, config.fc_dim, rng);
+  model->emplace<ReLU>();
+  if (config.dropout > 0.0f) {
+    model->emplace<Dropout>(config.dropout, config.seed + 202);
+  }
+  model->emplace<Linear>(config.fc_dim, config.classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_model(ModelId id, const ModelConfig& config) {
+  switch (id) {
+    case ModelId::kCnn1: return make_cnn1(config);
+    case ModelId::kResNet18: return make_resnet18(config);
+    case ModelId::kVgg16v: break;
+  }
+  return make_vgg16v(config);
+}
+
+}  // namespace safelight::nn

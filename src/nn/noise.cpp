@@ -1,0 +1,79 @@
+#include "nn/noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+NoiseInjector::NoiseInjector(NoiseConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  require(config_.sigma >= 0.0f, "NoiseInjector: sigma must be >= 0");
+}
+
+void NoiseInjector::perturb(const std::vector<Param*>& params) {
+  if (!config_.enabled()) return;
+  SAFELIGHT_ASSERT(!active_, "NoiseInjector::perturb called twice");
+  saved_.clear();
+  saved_.reserve(params.size());
+  for (Param* p : params) {
+    saved_.push_back(p->value);
+    if (!config_.perturb_electronic && p->kind == ParamKind::kElectronic) {
+      continue;
+    }
+    Tensor& w = p->value;
+    switch (config_.mode) {
+      case NoiseMode::kRelativeToStd: {
+        // Per-tensor standard deviation (mean assumed ~0 for weights).
+        const double ms =
+            w.sum_squares() / static_cast<double>(w.numel());
+        const double stddev =
+            static_cast<double>(config_.sigma) * std::sqrt(ms);
+        // Non-finite weights (a diverged run) make stddev NaN; leave the
+        // tensor alone rather than poisoning the RNG or throwing.
+        if (stddev == 0.0 || !std::isfinite(stddev)) break;
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+          w[i] += static_cast<float>(rng_.gaussian(0.0, stddev));
+        }
+        break;
+      }
+      case NoiseMode::kRelativeToMax: {
+        const float scale = w.abs_max();
+        if (scale == 0.0f) break;
+        const double stddev = static_cast<double>(config_.sigma) * scale;
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+          w[i] += static_cast<float>(rng_.gaussian(0.0, stddev));
+        }
+        break;
+      }
+      case NoiseMode::kAbsolute: {
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+          w[i] += static_cast<float>(rng_.gaussian(0.0, config_.sigma));
+        }
+        break;
+      }
+      case NoiseMode::kProportional: {
+        for (std::size_t i = 0; i < w.numel(); ++i) {
+          const double stddev =
+              static_cast<double>(config_.sigma) * std::abs(w[i]);
+          w[i] += static_cast<float>(rng_.gaussian(0.0, stddev));
+        }
+        break;
+      }
+    }
+  }
+  active_ = true;
+}
+
+void NoiseInjector::restore(const std::vector<Param*>& params) {
+  if (!active_) return;
+  SAFELIGHT_ASSERT(saved_.size() == params.size(),
+                   "NoiseInjector::restore: parameter set changed");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = saved_[i];
+  }
+  saved_.clear();
+  active_ = false;
+}
+
+}  // namespace safelight::nn

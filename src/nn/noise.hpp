@@ -1,0 +1,59 @@
+// Gaussian weight-noise injection for noise-aware training (paper §V.B).
+//
+// Noise-aware training runs each forward/backward pass on perturbed copies
+// of the weights (w + N(0, sigma_effective)) while the optimizer updates the
+// clean weights — the scheme used for PCM accelerators in [32] and adopted
+// by SafeLight for ONN robustness. The paper sweeps sigma in 0.1..0.9;
+// sigma is interpreted relative to each tensor's absolute maximum
+// (kRelativeToMax) so the sweep is meaningful across layers of very
+// different scales. Absolute and proportional modes are provided for
+// ablation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace safelight::nn {
+
+enum class NoiseMode {
+  kRelativeToStd,   // stddev = sigma * std(w) per tensor (default; keeps the
+                    // paper's sigma = 0.1..0.9 sweep trainable on every layer)
+  kRelativeToMax,   // stddev = sigma * max|w| per tensor
+  kAbsolute,        // stddev = sigma
+  kProportional,    // stddev = sigma * |w| per weight
+};
+
+struct NoiseConfig {
+  float sigma = 0.0f;  // 0 disables injection
+  NoiseMode mode = NoiseMode::kRelativeToStd;
+  bool perturb_electronic = false;  // also perturb biases/BN when true
+
+  bool enabled() const { return sigma > 0.0f; }
+};
+
+/// Applies one noise sample to `params` and remembers the clean values;
+/// restore() puts them back. A NoiseInjector instance must not be shared
+/// across concurrent training loops.
+class NoiseInjector {
+ public:
+  NoiseInjector(NoiseConfig config, std::uint64_t seed);
+
+  /// Saves the clean weights and overwrites them with noisy copies.
+  /// No-op when the config is disabled.
+  void perturb(const std::vector<Param*>& params);
+
+  /// Restores the last saved clean weights. No-op when nothing is saved.
+  void restore(const std::vector<Param*>& params);
+
+  const NoiseConfig& config() const { return config_; }
+
+ private:
+  NoiseConfig config_;
+  Rng rng_;
+  std::vector<Tensor> saved_;
+  bool active_ = false;
+};
+
+}  // namespace safelight::nn

@@ -1,0 +1,41 @@
+#include "nn/optimizer.hpp"
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  require(config_.lr > 0.0f, "Sgd: learning rate must be positive");
+  require(config_.momentum >= 0.0f && config_.momentum < 1.0f,
+          "Sgd: momentum must be in [0,1)");
+  require(config_.weight_decay >= 0.0f,
+          "Sgd: weight decay must be non-negative");
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    require(p != nullptr, "Sgd: null parameter");
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const bool decay = config_.weight_decay > 0.0f &&
+                       (config_.decay_electronic ||
+                        p.kind != ParamKind::kElectronic);
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad[j];
+      if (decay) g += config_.weight_decay * p.value[j];
+      v[j] = config_.momentum * v[j] + g;
+      p.value[j] -= config_.lr * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace safelight::nn

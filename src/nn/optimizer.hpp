@@ -1,0 +1,43 @@
+// SGD optimizer with momentum and decoupled L2 weight decay.
+//
+// The weight-decay term implements the paper's L2 regularization
+// R(w) = (lambda / 2m) * sum ||w||^2: its gradient contribution lambda/m * w
+// is folded into the update as `weight_decay * w` (PyTorch convention).
+// Decay is applied only to conv/linear weights, not to biases or batch-norm
+// parameters, matching standard practice.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace safelight::nn {
+
+struct SgdConfig {
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;  // L2 regularization strength (lambda/m)
+  bool decay_electronic = false;  // also decay biases/BN when true
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// parameters, then leaves gradients untouched (call zero_grad separately).
+  void step();
+
+  void zero_grad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+}  // namespace safelight::nn

@@ -1,0 +1,262 @@
+#include "nn/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::nn {
+
+namespace {
+
+constexpr std::size_t kClasses = 10;
+
+// 5x7 bitmap glyphs for digits 0..9 (1 = stroke).
+constexpr std::array<std::array<const char*, 7>, 10> kGlyphs = {{
+    {"01110", "10001", "10011", "10101", "11001", "10001", "01110"},  // 0
+    {"00100", "01100", "00100", "00100", "00100", "00100", "01110"},  // 1
+    {"01110", "10001", "00001", "00110", "01000", "10000", "11111"},  // 2
+    {"01110", "10001", "00001", "00110", "00001", "10001", "01110"},  // 3
+    {"00010", "00110", "01010", "10010", "11111", "00010", "00010"},  // 4
+    {"11111", "10000", "11110", "00001", "00001", "10001", "01110"},  // 5
+    {"01110", "10000", "10000", "11110", "10001", "10001", "01110"},  // 6
+    {"11111", "00001", "00010", "00100", "01000", "01000", "01000"},  // 7
+    {"01110", "10001", "10001", "01110", "10001", "10001", "01110"},  // 8
+    {"01110", "10001", "10001", "01111", "00001", "00001", "01110"},  // 9
+}};
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+/// Samples a glyph bitmap with bilinear interpolation at (u,v) in [0,1].
+float glyph_sample(int digit, float u, float v) {
+  const auto& rows = kGlyphs[static_cast<std::size_t>(digit)];
+  const float x = u * 4.0f;  // glyph is 5 wide
+  const float y = v * 6.0f;  // and 7 tall
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  auto bit = [&](int xx, int yy) -> float {
+    xx = std::clamp(xx, 0, 4);
+    yy = std::clamp(yy, 0, 6);
+    return rows[static_cast<std::size_t>(yy)][static_cast<std::size_t>(xx)] ==
+                   '1'
+               ? 1.0f
+               : 0.0f;
+  };
+  const float top = bit(x0, y0) * (1 - fx) + bit(x0 + 1, y0) * fx;
+  const float bot = bit(x0, y0 + 1) * (1 - fx) + bit(x0 + 1, y0 + 1) * fx;
+  return top * (1 - fy) + bot * fy;
+}
+
+struct Hsv {
+  float h, s, v;
+};
+
+std::array<float, 3> hsv_to_rgb(const Hsv& c) {
+  const float h = c.h - std::floor(c.h);
+  const float i = std::floor(h * 6.0f);
+  const float f = h * 6.0f - i;
+  const float p = c.v * (1.0f - c.s);
+  const float q = c.v * (1.0f - f * c.s);
+  const float t = c.v * (1.0f - (1.0f - f) * c.s);
+  switch (static_cast<int>(i) % 6) {
+    case 0: return {c.v, t, p};
+    case 1: return {q, c.v, p};
+    case 2: return {p, c.v, t};
+    case 3: return {p, q, c.v};
+    case 4: return {t, p, c.v};
+    default: return {c.v, p, q};
+  }
+}
+
+Dataset allocate(const std::string& name, std::size_t count,
+                 std::size_t channels, std::size_t size) {
+  require(count >= kClasses, "synthetic: need at least 10 samples");
+  Dataset d;
+  d.name = name;
+  d.num_classes = kClasses;
+  d.images = Tensor({count, channels, size, size});
+  d.labels.resize(count);
+  return d;
+}
+
+}  // namespace
+
+Dataset synth_digits(const SynthConfig& config) {
+  const std::size_t size = config.image_size ? config.image_size : 28;
+  require(size >= 12, "synth_digits: image size must be >= 12");
+  Dataset d = allocate("synth_digits", config.count, 1, size);
+  Rng rng(seed_combine(config.seed, 0xD161, size));
+
+  const float span = static_cast<float>(size);
+  for (std::size_t n = 0; n < config.count; ++n) {
+    const int label = static_cast<int>(n % kClasses);
+    d.labels[n] = label;
+    // Random glyph placement: scale 55-85% of the image, jittered center.
+    const float scale =
+        static_cast<float>(rng.uniform(0.55, 0.85)) * span;
+    const float cx = span * 0.5f +
+                     static_cast<float>(rng.gaussian(0.0, 1.5)) * config.jitter;
+    const float cy = span * 0.5f +
+                     static_cast<float>(rng.gaussian(0.0, 1.5)) * config.jitter;
+    const float intensity = static_cast<float>(rng.uniform(0.75, 1.0));
+    const float aspect = static_cast<float>(rng.uniform(0.85, 1.15));
+
+    float* img = d.images.data() + n * size * size;
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        const float u =
+            (static_cast<float>(x) - cx) / (scale * 0.72f * aspect) + 0.5f;
+        const float v = (static_cast<float>(y) - cy) / scale + 0.5f;
+        float value = 0.0f;
+        if (u >= 0.0f && u <= 1.0f && v >= 0.0f && v <= 1.0f) {
+          value = glyph_sample(label, u, v) * intensity;
+        }
+        value += static_cast<float>(rng.gaussian(0.0, config.noise));
+        img[y * size + x] = clamp01(value) - 0.5f;
+      }
+    }
+  }
+  d.validate();
+  return d;
+}
+
+Dataset synth_shapes(const SynthConfig& config) {
+  const std::size_t size = config.image_size ? config.image_size : 32;
+  require(size >= 12, "synth_shapes: image size must be >= 12");
+  Dataset d = allocate("synth_shapes", config.count, 3, size);
+  Rng rng(seed_combine(config.seed, 0x5A9E, size));
+
+  const float span = static_cast<float>(size);
+  for (std::size_t n = 0; n < config.count; ++n) {
+    const int label = static_cast<int>(n % kClasses);
+    d.labels[n] = label;
+    const float cx =
+        span * 0.5f +
+        static_cast<float>(rng.gaussian(0.0, span * 0.06)) * config.jitter;
+    const float cy =
+        span * 0.5f +
+        static_cast<float>(rng.gaussian(0.0, span * 0.06)) * config.jitter;
+    const float radius = span * static_cast<float>(rng.uniform(0.22, 0.34));
+    // Class hue is the strongest cue; shape modulates the mask.
+    const float hue = static_cast<float>(label) / 10.0f +
+                      static_cast<float>(rng.gaussian(0.0, 0.015));
+    const auto fg = hsv_to_rgb({hue, 0.85f, 0.95f});
+    const float bg_hue = static_cast<float>(rng.uniform(0.0, 1.0));
+    const auto bg = hsv_to_rgb({bg_hue, 0.15f, 0.35f});
+
+    float* img = d.images.data() + n * 3 * size * size;
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / radius;
+        const float dy = (static_cast<float>(y) - cy) / radius;
+        const float r = std::sqrt(dx * dx + dy * dy);
+        // Shape family cycles through 5 masks; paired with 2 hue bands the
+        // 10 classes stay mutually distinguishable.
+        float mask = 0.0f;
+        switch (label % 5) {
+          case 0: mask = r <= 1.0f ? 1.0f : 0.0f; break;               // disc
+          case 1:                                                      // square
+            mask = std::max(std::abs(dx), std::abs(dy)) <= 0.85f ? 1.0f : 0.0f;
+            break;
+          case 2:                                                      // ring
+            mask = (r <= 1.0f && r >= 0.55f) ? 1.0f : 0.0f;
+            break;
+          case 3:                                                      // cross
+            mask = (std::abs(dx) <= 0.33f || std::abs(dy) <= 0.33f) &&
+                           r <= 1.15f
+                       ? 1.0f
+                       : 0.0f;
+            break;
+          default:                                                     // wedge
+            mask = (dy >= -0.9f && dy <= 0.2f + 0.0f &&
+                    std::abs(dx) <= (dy + 0.9f) * 0.8f)
+                       ? 1.0f
+                       : 0.0f;
+            break;
+        }
+        for (std::size_t c = 0; c < 3; ++c) {
+          float value = mask * fg[c] + (1.0f - mask) * bg[c];
+          value += static_cast<float>(rng.gaussian(0.0, config.noise));
+          img[(c * size + y) * size + x] = clamp01(value) - 0.5f;
+        }
+      }
+    }
+  }
+  d.validate();
+  return d;
+}
+
+Dataset synth_textures(const SynthConfig& config) {
+  const std::size_t size = config.image_size ? config.image_size : 32;
+  require(size >= 12, "synth_textures: image size must be >= 12");
+  Dataset d = allocate("synth_textures", config.count, 3, size);
+  Rng rng(seed_combine(config.seed, 0x7E87, size));
+
+  constexpr float kPi = 3.14159265358979323846f;
+  for (std::size_t n = 0; n < config.count; ++n) {
+    const int label = static_cast<int>(n % kClasses);
+    d.labels[n] = label;
+    const float freq = static_cast<float>(rng.uniform(2.2, 3.4));
+    const float phase = static_cast<float>(rng.uniform(0.0, 2.0 * kPi)) *
+                        (config.jitter > 0.0f ? 1.0f : 0.0f);
+    const float hue = static_cast<float>(label) / 10.0f +
+                      static_cast<float>(rng.gaussian(0.0, 0.02));
+    const auto tint = hsv_to_rgb({hue, 0.6f, 0.9f});
+
+    float* img = d.images.data() + n * 3 * size * size;
+    const float inv = 1.0f / static_cast<float>(size);
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        const float u = static_cast<float>(x) * inv;
+        const float v = static_cast<float>(y) * inv;
+        float t = 0.0f;
+        switch (label % 5) {
+          case 0:  // horizontal waves
+            t = 0.5f + 0.5f * std::sin(2 * kPi * freq * v + phase);
+            break;
+          case 1:  // vertical waves
+            t = 0.5f + 0.5f * std::sin(2 * kPi * freq * u + phase);
+            break;
+          case 2:  // diagonal stripes
+            t = 0.5f + 0.5f * std::sin(2 * kPi * freq * (u + v) + phase);
+            break;
+          case 3:  // checkerboard
+            t = (std::sin(2 * kPi * freq * u + phase) *
+                     std::sin(2 * kPi * freq * v + phase) >
+                 0)
+                    ? 1.0f
+                    : 0.0f;
+            break;
+          default: {  // concentric rings
+            const float du = u - 0.5f, dv = v - 0.5f;
+            t = 0.5f +
+                0.5f * std::sin(2 * kPi * freq * 2.0f *
+                                    std::sqrt(du * du + dv * dv) +
+                                phase);
+            break;
+          }
+        }
+        for (std::size_t c = 0; c < 3; ++c) {
+          float value = t * tint[c] + (1.0f - t) * (1.0f - tint[c]) * 0.3f;
+          value += static_cast<float>(rng.gaussian(0.0, config.noise));
+          img[(c * size + y) * size + x] = clamp01(value) - 0.5f;
+        }
+      }
+    }
+  }
+  d.validate();
+  return d;
+}
+
+Dataset make_synthetic(const std::string& family, const SynthConfig& config) {
+  if (family == "digits") return synth_digits(config);
+  if (family == "shapes") return synth_shapes(config);
+  if (family == "textures") return synth_textures(config);
+  fail_argument("make_synthetic: unknown family '" + family +
+                "' (expected digits|shapes|textures)");
+}
+
+}  // namespace safelight::nn

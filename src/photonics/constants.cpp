@@ -1,0 +1,10 @@
+#include "photonics/constants.hpp"
+
+namespace safelight::phot {
+
+double thermal_shift_per_kelvin_nm(double wavelength_nm, double group_index,
+                                   double confinement, double thermo_optic) {
+  return confinement * thermo_optic * wavelength_nm / group_index;
+}
+
+}  // namespace safelight::phot

@@ -1,0 +1,33 @@
+#include "photonics/converters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::phot {
+
+void QuantizerConfig::validate() const {
+  require(bits >= 1 && bits <= 24, "Quantizer: bits must be in [1,24]");
+  require(min_value < max_value, "Quantizer: min must be < max");
+}
+
+double QuantizerConfig::step() const {
+  return (max_value - min_value) / static_cast<double>(levels() - 1);
+}
+
+Quantizer::Quantizer(const QuantizerConfig& config) : config_(config) {
+  config_.validate();
+}
+
+double Quantizer::quantize(double value) const {
+  const double clamped =
+      std::clamp(value, config_.min_value, config_.max_value);
+  const double step = config_.step();
+  const double idx = std::round((clamped - config_.min_value) / step);
+  return config_.min_value + idx * step;
+}
+
+double Quantizer::max_error() const { return config_.step() * 0.5; }
+
+}  // namespace safelight::phot

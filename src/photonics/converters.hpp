@@ -1,0 +1,45 @@
+// DAC / ADC quantization models (paper Fig. 2(e)/(f)).
+//
+// DAC arrays convert buffered digital weights/activations into analog MR
+// tuning signals; ADC arrays digitize the PD outputs. Both are uniform
+// mid-rise quantizers over a configurable range. The executor uses them to
+// bound the numeric fidelity of the unattacked accelerator (integration
+// tests assert the pure-NN / accelerator agreement within this resolution).
+#pragma once
+
+#include <cstddef>
+
+namespace safelight::phot {
+
+struct QuantizerConfig {
+  unsigned bits = 8;
+  double min_value = -1.0;
+  double max_value = 1.0;
+
+  void validate() const;
+  std::size_t levels() const { return std::size_t{1} << bits; }
+  double step() const;
+};
+
+/// Uniform quantizer; values outside the range clamp to the range edges.
+class Quantizer {
+ public:
+  explicit Quantizer(const QuantizerConfig& config);
+
+  double quantize(double value) const;
+
+  /// Largest possible |x - quantize(x)| for in-range x (half a step).
+  double max_error() const;
+
+  const QuantizerConfig& config() const { return config_; }
+
+ private:
+  QuantizerConfig config_;
+};
+
+/// Semantic aliases: the hardware has distinct DAC and ADC arrays with
+/// independent resolutions.
+using Dac = Quantizer;
+using Adc = Quantizer;
+
+}  // namespace safelight::phot

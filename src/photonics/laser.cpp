@@ -1,0 +1,43 @@
+#include "photonics/laser.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::phot {
+
+double db_to_linear(double db) { return std::pow(10.0, -db / 10.0); }
+
+LaserSource::LaserSource(const WdmGrid& grid, double power_per_channel_mw,
+                         double wall_plug_efficiency)
+    : powers_mw_(grid.channel_count(), power_per_channel_mw),
+      efficiency_(wall_plug_efficiency) {
+  require(power_per_channel_mw > 0.0,
+          "LaserSource: channel power must be positive");
+  require(wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+          "LaserSource: efficiency must be in (0,1]");
+}
+
+double LaserSource::power_mw(std::size_t channel) const {
+  require(channel < powers_mw_.size(),
+          "LaserSource::power_mw: channel out of range");
+  return powers_mw_[channel];
+}
+
+double LaserSource::total_optical_power_mw() const {
+  double total = 0.0;
+  for (double p : powers_mw_) total += p;
+  return total;
+}
+
+double LaserSource::electrical_power_mw() const {
+  return total_optical_power_mw() / efficiency_;
+}
+
+void LaserSource::apply_loss_db(double loss_db) {
+  require(loss_db >= 0.0, "LaserSource::apply_loss_db: loss must be >= 0 dB");
+  const double factor = db_to_linear(loss_db);
+  for (double& p : powers_mw_) p *= factor;
+}
+
+}  // namespace safelight::phot

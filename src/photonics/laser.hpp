@@ -1,0 +1,40 @@
+// Multi-wavelength laser source model.
+//
+// Supplies the comb of WDM carriers that feeds each VDP waveguide
+// (paper Fig. 2(a)). The model tracks per-channel optical power and a
+// wall-plug efficiency for the accelerator's energy accounting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "photonics/wdm.hpp"
+
+namespace safelight::phot {
+
+class LaserSource {
+ public:
+  /// Uniform power per channel [mW]; efficiency is wall-plug (0,1].
+  LaserSource(const WdmGrid& grid, double power_per_channel_mw,
+              double wall_plug_efficiency = 0.2);
+
+  std::size_t channel_count() const { return powers_mw_.size(); }
+  double power_mw(std::size_t channel) const;
+  double total_optical_power_mw() const;
+
+  /// Electrical power drawn to emit the comb [mW].
+  double electrical_power_mw() const;
+
+  /// Applies a per-channel attenuation (e.g. coupling/insertion loss, dB > 0
+  /// attenuates).
+  void apply_loss_db(double loss_db);
+
+ private:
+  std::vector<double> powers_mw_;
+  double efficiency_;
+};
+
+/// Converts dB to a linear power factor (attenuation for dB > 0).
+double db_to_linear(double db);
+
+}  // namespace safelight::phot

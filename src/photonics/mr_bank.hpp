@@ -1,0 +1,88 @@
+// MR bank: one weight bank of the accelerator's VDP units.
+//
+// K microrings sit on one waveguide that carries K WDM channels; ring i is
+// trimmed to channel i and imprints weight magnitude |w_i| as its
+// through-port transmission. Channel c's amplitude after the bank is
+//   a_c * prod_i T_i(lambda_c),
+// and the photodetector sums all channels (paper Fig. 1(c)). Signs are kept
+// in the electronic domain and applied per channel after detection
+// (sign-magnitude convention of non-coherent accelerators).
+//
+// The same model produces the corrupted effective weights under both attack
+// vectors: parking a ring off-resonance (actuation HT) drives its channel's
+// transmission toward 1, and a per-ring temperature delta (hotspot HT)
+// shifts resonances by Eq. 2 so rings modulate their *neighbors'* channels —
+// reproducing paper Figs. 4 and 5.
+#pragma once
+
+#include <vector>
+
+#include "photonics/microring.hpp"
+#include "photonics/wdm.hpp"
+
+namespace safelight::phot {
+
+/// Weight <-> transmission encoding parameters.
+struct WeightEncoding {
+  double t_min = kDefaultTmin;  // transmission floor == |w| = 0
+  double t_max = 0.98;          // transmission ceiling == |w| = 1
+
+  double to_transmission(double magnitude) const;
+  /// Inverse map; intentionally unclamped above 1 so off-resonance
+  /// corruption decodes to a magnitude slightly above the maximum.
+  double to_magnitude(double transmission) const;
+  void validate() const;
+};
+
+class MrBank {
+ public:
+  /// One ring per WDM channel.
+  MrBank(const MrGeometry& geometry, const WdmGrid& grid,
+         WeightEncoding encoding = {});
+
+  std::size_t size() const { return rings_.size(); }
+  const WdmGrid& grid() const { return grid_; }
+  const WeightEncoding& encoding() const { return encoding_; }
+
+  /// Imprints signed normalized weights (|w| <= 1). Size must equal size().
+  void set_weights(const std::vector<double>& weights);
+
+  /// The signed weights as imprinted (before any attack).
+  const std::vector<double>& nominal_weights() const { return nominal_; }
+
+  // ---- attack hooks -------------------------------------------------
+  /// Actuation HT: parks ring i `park_shift_nm` away from its carrier
+  /// (default: half a channel spacing, the EO circuit's hijacked rest
+  /// state). The ring no longer modulates its own channel.
+  void park_off_resonance(std::size_t i, double park_shift_nm = -1.0);
+
+  /// Hotspot HT: applies a temperature delta to ring i (Eq. 2 shift).
+  void set_temperature_delta(std::size_t i, double delta_kelvin);
+
+  /// Restores all rings to their nominal imprinted state.
+  void reset_attacks();
+
+  // ---- physics -------------------------------------------------------
+  /// prod_i T_i(lambda_c): aggregate transmission seen by channel c.
+  double channel_transmission(std::size_t channel) const;
+
+  /// Signed effective weight per channel after decode — equals the nominal
+  /// weights when no attack is active (up to encoding resolution).
+  std::vector<double> effective_weights() const;
+
+  /// Dot product sum_c sign_c * |w_eff,c| * a_c as detected by the PD and
+  /// decoded electronically.
+  double dot_product(const std::vector<double>& activations) const;
+
+  const Microring& ring(std::size_t i) const;
+  Microring& ring(std::size_t i);
+
+ private:
+  WdmGrid grid_;
+  WeightEncoding encoding_;
+  std::vector<Microring> rings_;
+  std::vector<double> nominal_;  // signed weights as imprinted
+  std::vector<int> signs_;       // electronic sign per channel
+};
+
+}  // namespace safelight::phot

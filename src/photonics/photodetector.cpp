@@ -1,0 +1,29 @@
+#include "photonics/photodetector.hpp"
+
+#include "common/error.hpp"
+
+namespace safelight::phot {
+
+Photodetector::Photodetector(const PhotodetectorConfig& config)
+    : config_(config), rng_(config.seed) {
+  require(config_.responsivity_a_per_w > 0.0,
+          "Photodetector: responsivity must be positive");
+  require(config_.noise_sigma >= 0.0,
+          "Photodetector: noise sigma must be >= 0");
+}
+
+double Photodetector::detect_ma(
+    const std::vector<double>& channel_powers_mw) {
+  double total_mw = 0.0;
+  for (double p : channel_powers_mw) {
+    require(p >= 0.0, "Photodetector: negative optical power");
+    total_mw += p;
+  }
+  double current_ma = total_mw * config_.responsivity_a_per_w;
+  if (config_.noise_sigma > 0.0) {
+    current_ma += rng_.gaussian(0.0, config_.noise_sigma);
+  }
+  return current_ma;
+}
+
+}  // namespace safelight::phot

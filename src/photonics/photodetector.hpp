@@ -1,0 +1,37 @@
+// Photodetector model (paper Fig. 2(g)).
+//
+// The PD sums the optical power across all WDM channels of a bank and
+// converts it to a photocurrent; optional Gaussian noise models shot +
+// thermal contributions for robustness experiments (deterministic runs keep
+// it disabled).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace safelight::phot {
+
+struct PhotodetectorConfig {
+  double responsivity_a_per_w = 1.0;  // A/W
+  double noise_sigma = 0.0;           // stddev of additive Gaussian noise [mA]
+  std::uint64_t seed = 99;
+};
+
+class Photodetector {
+ public:
+  explicit Photodetector(const PhotodetectorConfig& config);
+
+  /// Sums channel powers [mW] into a photocurrent [mA], adding noise when
+  /// configured.
+  double detect_ma(const std::vector<double>& channel_powers_mw);
+
+  const PhotodetectorConfig& config() const { return config_; }
+
+ private:
+  PhotodetectorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace safelight::phot

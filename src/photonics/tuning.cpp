@@ -1,0 +1,47 @@
+#include "photonics/tuning.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::phot {
+
+std::string to_string(TuningMethod method) {
+  switch (method) {
+    case TuningMethod::kElectroOptic: return "EO";
+    case TuningMethod::kThermoOptic: break;
+  }
+  return "TO";
+}
+
+bool TuningCircuit::can_reach(double shift_nm) const {
+  return std::abs(shift_nm) <= max_range_nm;
+}
+
+double TuningCircuit::power_mw(double shift_nm) const {
+  require(can_reach(shift_nm),
+          "TuningCircuit: requested shift exceeds " + to_string(method) +
+              " tuning range");
+  return std::abs(shift_nm) * power_per_nm_mw;
+}
+
+TuningCircuit eo_tuning() {
+  TuningCircuit c;
+  c.method = TuningMethod::kElectroOptic;
+  c.max_range_nm = 0.8;
+  c.power_per_nm_mw = 4e-3;  // 4 uW/nm
+  c.latency_ns = 1.0;
+  return c;
+}
+
+TuningCircuit to_tuning(double fsr_nm) {
+  require(fsr_nm > 0.0, "to_tuning: FSR must be positive");
+  TuningCircuit c;
+  c.method = TuningMethod::kThermoOptic;
+  c.max_range_nm = fsr_nm;
+  c.power_per_nm_mw = 27.0 / fsr_nm;  // 27 mW per FSR
+  c.latency_ns = 1000.0;              // ~1 us
+  return c;
+}
+
+}  // namespace safelight::phot

@@ -1,0 +1,44 @@
+// MR peripheral tuning-circuit models (paper §II.B).
+//
+// Two tuning mechanisms bias the MR resonance:
+//   * electro-optic (EO, carrier injection): ~ns latency, ~4 uW/nm, small
+//     usable range — used for fast signal actuation,
+//   * thermo-optic (TO, integrated heater): ~us latency, ~27 mW per FSR of
+//     tuning, full-FSR range — used for bias/stabilization.
+// These circuits are exactly the attack surfaces of the paper: actuation
+// HTs hijack the EO path, hotspot HTs overdrive the TO heater.
+#pragma once
+
+#include <string>
+
+namespace safelight::phot {
+
+enum class TuningMethod { kElectroOptic, kThermoOptic };
+
+std::string to_string(TuningMethod method);
+
+struct TuningCircuit {
+  TuningMethod method = TuningMethod::kElectroOptic;
+  double max_range_nm = 0.0;    // usable tuning span
+  double power_per_nm_mw = 0.0; // drive power per nm of shift
+  double latency_ns = 0.0;      // settling time
+
+  /// True when `shift_nm` (magnitude) is reachable by this circuit.
+  bool can_reach(double shift_nm) const;
+
+  /// Drive power [mW] to hold a shift; throws when out of range.
+  double power_mw(double shift_nm) const;
+
+  /// Settling latency [ns] (independent of shift in this model).
+  double settle_latency_ns() const { return latency_ns; }
+};
+
+/// EO tuning: ~4 uW/nm, ~1 ns, range limited to ~0.8 nm (carrier injection
+/// cannot sweep far before free-carrier losses dominate).
+TuningCircuit eo_tuning();
+
+/// TO tuning: 27 mW per FSR, ~1 us, full-FSR range. `fsr_nm` converts the
+/// per-FSR power figure into per-nm.
+TuningCircuit to_tuning(double fsr_nm);
+
+}  // namespace safelight::phot

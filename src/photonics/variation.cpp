@@ -1,0 +1,38 @@
+#include "photonics/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::phot {
+
+void ProcessVariation::validate() const {
+  require(sigma_nm >= 0.0, "ProcessVariation: sigma must be >= 0");
+  require(trim_range_nm >= 0.0, "ProcessVariation: trim range must be >= 0");
+}
+
+std::vector<double> sample_residual_offsets(std::size_t count,
+                                            const ProcessVariation& pv,
+                                            Rng& rng) {
+  pv.validate();
+  std::vector<double> residuals(count, 0.0);
+  for (auto& r : residuals) {
+    const double raw = rng.gaussian(0.0, pv.sigma_nm);
+    // Trimming nulls offsets within range; only the excess survives.
+    const double trimmed = std::clamp(raw, -pv.trim_range_nm,
+                                      pv.trim_range_nm);
+    r = raw - trimmed;
+  }
+  return residuals;
+}
+
+void apply_process_variation(MrBank& bank, const ProcessVariation& pv,
+                             Rng& rng) {
+  const auto residuals = sample_residual_offsets(bank.size(), pv, rng);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    bank.ring(i).set_fabrication_offset_nm(residuals[i]);
+  }
+}
+
+}  // namespace safelight::phot

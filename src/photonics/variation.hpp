@@ -1,0 +1,39 @@
+// Process-variation (PV) model for MR resonances.
+//
+// Fabrication variations shift each ring's natural resonance; tuning
+// circuits trim the shift back, but only within their range (paper §II.B,
+// and the LIBRA [24] / SOTERIA [25] line of work the paper builds on).
+// SafeLight models the *residual* offset after trimming: offsets within the
+// trim budget vanish, excess survives and degrades computation fidelity —
+// an ambient noise floor the robustness experiments can layer under the HT
+// attacks.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "photonics/mr_bank.hpp"
+
+namespace safelight::phot {
+
+struct ProcessVariation {
+  /// Stddev of the as-fabricated resonance offset [nm]. Literature values
+  /// for SOI rings are ~0.2-0.6 nm die-to-die; 0.3 nm default.
+  double sigma_nm = 0.3;
+  /// Trimming budget of the tuning circuit [nm]; offsets within it are
+  /// nulled exactly.
+  double trim_range_nm = 1.0;
+
+  void validate() const;
+};
+
+/// Samples residual per-ring offsets (after trimming) for `count` rings.
+std::vector<double> sample_residual_offsets(std::size_t count,
+                                            const ProcessVariation& pv,
+                                            Rng& rng);
+
+/// Applies sampled residual offsets to a bank's rings.
+void apply_process_variation(MrBank& bank, const ProcessVariation& pv,
+                             Rng& rng);
+
+}  // namespace safelight::phot

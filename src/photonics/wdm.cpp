@@ -1,0 +1,40 @@
+#include "photonics/wdm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::phot {
+
+WdmGrid::WdmGrid(std::size_t channels, double center_nm, double fsr_nm)
+    : center_nm_(center_nm) {
+  require(channels >= 1, "WdmGrid: need at least one channel");
+  require(fsr_nm > 0.0, "WdmGrid: FSR must be positive");
+  spacing_nm_ = fsr_nm / static_cast<double>(channels);
+  wavelengths_.resize(channels);
+  const double first =
+      center_nm - spacing_nm_ * (static_cast<double>(channels) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < channels; ++i) {
+    wavelengths_[i] = first + spacing_nm_ * static_cast<double>(i);
+  }
+}
+
+double WdmGrid::wavelength(std::size_t channel) const {
+  if (channel >= wavelengths_.size()) {
+    throw std::out_of_range("WdmGrid::wavelength: channel out of range");
+  }
+  return wavelengths_[channel];
+}
+
+int WdmGrid::nearest_channel(double wavelength_nm) const {
+  const double offset = (wavelength_nm - wavelengths_.front()) / spacing_nm_;
+  const long idx = std::lround(offset);
+  if (idx < 0 || idx >= static_cast<long>(wavelengths_.size())) return -1;
+  if (std::abs(wavelength_nm - wavelengths_[static_cast<std::size_t>(idx)]) >
+      spacing_nm_ * 0.5 + 1e-12) {
+    return -1;
+  }
+  return static_cast<int>(idx);
+}
+
+}  // namespace safelight::phot

@@ -1,0 +1,39 @@
+// Wavelength-division-multiplexing grid.
+//
+// A waveguide in the accelerator carries K evenly spaced channels inside one
+// free spectral range (paper §II.B / §III.B.2: "an optical waveguide is
+// configured to support a specific number of evenly spaced wavelengths,
+// corresponding to the number of columns in each MR bank").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace safelight::phot {
+
+class WdmGrid {
+ public:
+  /// K channels centered on `center_nm`, uniformly spaced by fsr_nm / K.
+  WdmGrid(std::size_t channels, double center_nm, double fsr_nm);
+
+  std::size_t channel_count() const { return wavelengths_.size(); }
+  double spacing_nm() const { return spacing_nm_; }
+  double center_nm() const { return center_nm_; }
+
+  /// Wavelength of channel i; throws std::out_of_range.
+  double wavelength(std::size_t channel) const;
+
+  const std::vector<double>& wavelengths() const { return wavelengths_; }
+
+  /// Index of the channel nearest to `wavelength_nm`, or -1 when the
+  /// wavelength falls outside the grid span by more than half a spacing
+  /// ("unsupported wavelength" in the paper's Fig. 5).
+  int nearest_channel(double wavelength_nm) const;
+
+ private:
+  double center_nm_;
+  double spacing_nm_;
+  std::vector<double> wavelengths_;
+};
+
+}  // namespace safelight::phot

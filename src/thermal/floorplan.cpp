@@ -1,0 +1,65 @@
+#include "thermal/floorplan.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace safelight::thermal {
+
+std::pair<std::size_t, std::size_t> near_square(std::size_t n) {
+  require(n > 0, "near_square: n must be positive");
+  auto rows = static_cast<std::size_t>(std::floor(std::sqrt(
+      static_cast<double>(n))));
+  while (rows > 1 && n % rows != 0) --rows;
+  // Perfect factorization found; otherwise fall back to ceil grid.
+  if (n % rows == 0) return {rows, n / rows};
+  rows = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  return {rows, (n + rows - 1) / rows};
+}
+
+BlockFloorplan::BlockFloorplan(std::size_t units, std::size_t banks_per_unit,
+                               double bank_pitch_um, double ambient_k)
+    : units_(units), banks_per_unit_(banks_per_unit),
+      bank_pitch_um_(bank_pitch_um), ambient_k_(ambient_k) {
+  require(units > 0 && banks_per_unit > 0,
+          "BlockFloorplan: units and banks must be positive");
+  std::tie(unit_rows_, unit_cols_) = near_square(units_);
+  std::tie(bank_rows_, bank_cols_) = near_square(banks_per_unit_);
+}
+
+std::pair<std::size_t, std::size_t> BlockFloorplan::bank_cell(
+    std::size_t unit, std::size_t bank) const {
+  require(unit < units_, "BlockFloorplan::bank_cell: unit out of range");
+  require(bank < banks_per_unit_,
+          "BlockFloorplan::bank_cell: bank out of range");
+  const std::size_t unit_r = unit / unit_cols_;
+  const std::size_t unit_c = unit % unit_cols_;
+  const std::size_t bank_r = bank / bank_cols_;
+  const std::size_t bank_c = bank % bank_cols_;
+  return {unit_r * bank_rows_ + bank_r, unit_c * bank_cols_ + bank_c};
+}
+
+std::pair<std::size_t, std::size_t> BlockFloorplan::cell_bank(
+    std::size_t row, std::size_t col) const {
+  require(row < grid_rows() && col < grid_cols(),
+          "BlockFloorplan::cell_bank: cell out of range");
+  const std::size_t unit_r = row / bank_rows_;
+  const std::size_t unit_c = col / bank_cols_;
+  const std::size_t unit = unit_r * unit_cols_ + unit_c;
+  const std::size_t bank_r = row % bank_rows_;
+  const std::size_t bank_c = col % bank_cols_;
+  const std::size_t bank = bank_r * bank_cols_ + bank_c;
+  return {unit, bank};
+}
+
+ThermalGrid BlockFloorplan::make_grid() const {
+  GridConfig config;
+  config.rows = grid_rows();
+  config.cols = grid_cols();
+  config.cell_pitch_um = bank_pitch_um_;
+  config.ambient_k = ambient_k_;
+  return ThermalGrid(config);
+}
+
+}  // namespace safelight::thermal

@@ -1,0 +1,52 @@
+// Floorplan of an accelerator block's MR bank array.
+//
+// VDP units tile the die in a near-square grid; each unit's banks tile the
+// unit. The floorplan maps a (unit, bank) address to a thermal-grid cell so
+// hotspot attacks can inject heater power at the right physical location and
+// read back per-bank temperature rises.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "thermal/grid.hpp"
+
+namespace safelight::thermal {
+
+class BlockFloorplan {
+ public:
+  /// `units` VDP units with `banks_per_unit` banks each. The constructor
+  /// chooses near-square tilings for both levels.
+  BlockFloorplan(std::size_t units, std::size_t banks_per_unit,
+                 double bank_pitch_um = 60.0, double ambient_k = 300.0);
+
+  std::size_t units() const { return units_; }
+  std::size_t banks_per_unit() const { return banks_per_unit_; }
+
+  std::size_t grid_rows() const { return unit_rows_ * bank_rows_; }
+  std::size_t grid_cols() const { return unit_cols_ * bank_cols_; }
+
+  /// Thermal-grid cell of a (unit, bank) pair.
+  std::pair<std::size_t, std::size_t> bank_cell(std::size_t unit,
+                                                std::size_t bank) const;
+
+  /// Inverse map: grid cell -> (unit, bank).
+  std::pair<std::size_t, std::size_t> cell_bank(std::size_t row,
+                                                std::size_t col) const;
+
+  /// A grid sized for this floorplan (all cells ambient, no power).
+  ThermalGrid make_grid() const;
+
+ private:
+  std::size_t units_, banks_per_unit_;
+  std::size_t unit_rows_, unit_cols_;
+  std::size_t bank_rows_, bank_cols_;
+  double bank_pitch_um_;
+  double ambient_k_;
+};
+
+/// Near-square factorization helper: returns (rows, cols) with
+/// rows * cols >= n, rows <= cols, minimizing wasted cells.
+std::pair<std::size_t, std::size_t> near_square(std::size_t n);
+
+}  // namespace safelight::thermal

@@ -1,0 +1,59 @@
+// Thermal grid: discretized 2-D temperature/power field of the photonic die.
+//
+// Plays the role of the HotSpot tool [27] used for the paper's Fig. 6: a
+// steady-state heat-diffusion substrate at MR-bank granularity. Each cell
+// represents one MR bank tile; hotspot HTs inject heater overdrive power
+// into victim cells and the solver (thermal/solver.hpp) produces the
+// temperature field, which Eq. 2 converts into per-bank resonance shifts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace safelight::thermal {
+
+struct GridConfig {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  double cell_pitch_um = 60.0;  // physical pitch of one bank tile
+  double ambient_k = 300.0;     // heat-sink / ambient temperature
+
+  void validate() const;
+  std::size_t cell_count() const { return rows * cols; }
+};
+
+class ThermalGrid {
+ public:
+  explicit ThermalGrid(const GridConfig& config);
+
+  const GridConfig& config() const { return config_; }
+  std::size_t rows() const { return config_.rows; }
+  std::size_t cols() const { return config_.cols; }
+
+  /// Injected power [mW] at a cell (accumulates).
+  void add_power_mw(std::size_t row, std::size_t col, double power_mw);
+  double power_mw(std::size_t row, std::size_t col) const;
+  void clear_power();
+  double total_power_mw() const;
+
+  /// Temperature [K]; defaults to ambient until a solver writes the field.
+  double temperature_k(std::size_t row, std::size_t col) const;
+  void set_temperature_k(std::size_t row, std::size_t col, double kelvin);
+
+  /// Temperature rise over ambient [K].
+  double delta_t(std::size_t row, std::size_t col) const;
+
+  double max_temperature_k() const;
+
+  const std::vector<double>& temperatures() const { return temp_k_; }
+  const std::vector<double>& powers() const { return power_mw_; }
+
+ private:
+  std::size_t index(std::size_t row, std::size_t col) const;
+
+  GridConfig config_;
+  std::vector<double> power_mw_;
+  std::vector<double> temp_k_;
+};
+
+}  // namespace safelight::thermal

@@ -1,0 +1,49 @@
+#include "thermal/heatmap.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace safelight::thermal {
+
+std::string render_ascii_heatmap(const ThermalGrid& grid) {
+  static const std::string ramp = " .:-=+*#%@";
+  const double ambient = grid.config().ambient_k;
+  const double peak = grid.max_temperature_k();
+  const double span = std::max(1e-9, peak - ambient);
+
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed;
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      const double t = grid.temperature_k(r, c);
+      const double norm = std::clamp((t - ambient) / span, 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(
+          norm * static_cast<double>(ramp.size() - 1));
+      os << ramp[idx];
+    }
+    os << '\n';
+  }
+  os << "scale: ' '=" << ambient << "K ... '@'=" << peak << "K\n";
+  return os.str();
+}
+
+void write_heatmap_csv(const ThermalGrid& grid, const std::string& path) {
+  std::vector<std::string> header;
+  header.reserve(grid.cols());
+  for (std::size_t c = 0; c < grid.cols(); ++c) {
+    header.push_back("col" + std::to_string(c));
+  }
+  CsvWriter writer(path, header);
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    std::vector<double> row(grid.cols());
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      row[c] = grid.temperature_k(r, c);
+    }
+    writer.row_values(row);
+  }
+}
+
+}  // namespace safelight::thermal

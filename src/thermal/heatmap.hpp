@@ -1,0 +1,18 @@
+// Heatmap rendering for the Fig. 6 reproduction.
+#pragma once
+
+#include <string>
+
+#include "thermal/grid.hpp"
+
+namespace safelight::thermal {
+
+/// Renders the temperature field as an ASCII heatmap (one glyph per cell,
+/// ramp ' .:-=+*#%@' from ambient to max). Includes a scale legend.
+std::string render_ascii_heatmap(const ThermalGrid& grid);
+
+/// Writes the temperature field to CSV: header row "col0..colN", one data
+/// row per grid row. Throws std::runtime_error on I/O failure.
+void write_heatmap_csv(const ThermalGrid& grid, const std::string& path);
+
+}  // namespace safelight::thermal

@@ -1,0 +1,75 @@
+#include "thermal/solver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safelight::thermal {
+
+void SolverConfig::validate() const {
+  require(g_lateral_w_per_k > 0.0, "SolverConfig: g_lateral must be > 0");
+  require(g_sink_w_per_k > 0.0, "SolverConfig: g_sink must be > 0");
+  require(sor_omega > 0.0 && sor_omega < 2.0,
+          "SolverConfig: SOR omega must be in (0,2)");
+  require(max_iterations > 0, "SolverConfig: need at least one iteration");
+  require(tolerance_k > 0.0, "SolverConfig: tolerance must be positive");
+}
+
+double SolverConfig::decay_length_cells() const {
+  return std::sqrt(g_lateral_w_per_k / g_sink_w_per_k);
+}
+
+SolveResult solve_steady_state(ThermalGrid& grid, const SolverConfig& config) {
+  config.validate();
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  const double ambient = grid.config().ambient_k;
+  const double g_lat = config.g_lateral_w_per_k;
+  const double g_sink = config.g_sink_w_per_k;
+
+  // Work on a local copy for cache-friendly sweeps.
+  std::vector<double> temp(grid.temperatures());
+  const std::vector<double>& power = grid.powers();
+
+  SolveResult result;
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    double max_update = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        double neighbor_sum = 0.0;
+        std::size_t neighbor_count = 0;
+        if (r > 0) { neighbor_sum += temp[i - cols]; ++neighbor_count; }
+        if (r + 1 < rows) { neighbor_sum += temp[i + cols]; ++neighbor_count; }
+        if (c > 0) { neighbor_sum += temp[i - 1]; ++neighbor_count; }
+        if (c + 1 < cols) { neighbor_sum += temp[i + 1]; ++neighbor_count; }
+        // Power is stored in mW; conductances in W/K -> convert to W.
+        const double p_w = power[i] * 1.0e-3;
+        const double denom =
+            g_sink + g_lat * static_cast<double>(neighbor_count);
+        const double gauss_seidel =
+            (p_w + g_sink * ambient + g_lat * neighbor_sum) / denom;
+        const double updated =
+            (1.0 - config.sor_omega) * temp[i] +
+            config.sor_omega * gauss_seidel;
+        max_update = std::max(max_update, std::abs(updated - temp[i]));
+        temp[i] = updated;
+      }
+    }
+    result.iterations = iter + 1;
+    result.residual_k = max_update;
+    if (max_update < config.tolerance_k) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      grid.set_temperature_k(r, c, temp[r * cols + c]);
+    }
+  }
+  return result;
+}
+
+}  // namespace safelight::thermal

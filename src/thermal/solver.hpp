@@ -1,0 +1,40 @@
+// Steady-state thermal solver (successive over-relaxation).
+//
+// Governing balance per cell i (same equation class HotSpot solves):
+//   g_lat * sum_nb (T_nb - T_i) + g_sink * (T_amb - T_i) + P_i = 0
+// with adiabatic lateral boundaries and a vertical conductance to the heat
+// sink. The default conductances are calibrated so a single overdriven
+// in-resonator heater (~40 mW) produces a local rise of a few tens of
+// Kelvin that decays over 2-3 bank tiles — the bank-level hotspot profile
+// the paper's Fig. 6 shows.
+#pragma once
+
+#include "thermal/grid.hpp"
+
+namespace safelight::thermal {
+
+struct SolverConfig {
+  double g_lateral_w_per_k = 1.0e-3;  // cell-to-cell conductance
+  double g_sink_w_per_k = 1.6e-4;     // cell-to-sink conductance
+  double sor_omega = 1.8;             // SOR relaxation factor in (0,2)
+  std::size_t max_iterations = 50'000;
+  double tolerance_k = 1.0e-7;        // max per-sweep update to stop
+
+  void validate() const;
+
+  /// Characteristic lateral decay length in cells: sqrt(g_lat / g_sink).
+  double decay_length_cells() const;
+};
+
+struct SolveResult {
+  std::size_t iterations = 0;
+  double residual_k = 0.0;  // last max update
+  bool converged = false;
+};
+
+/// Solves the steady state in place (writes grid temperatures).
+/// Throws std::invalid_argument on bad config.
+SolveResult solve_steady_state(ThermalGrid& grid,
+                               const SolverConfig& config = {});
+
+}  // namespace safelight::thermal

@@ -1,0 +1,330 @@
+// Tests for src/common: rng, stats, parallel, csv, env.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace safelight {
+namespace {
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, GaussianZeroStddevIsMean) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.gaussian(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  const auto picks = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng rng(13);
+  auto perm = rng.permutation(50);
+  std::sort(perm.begin(), perm.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(Rng, SampleRejectsOverdraw) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(77);
+  Rng childA = parent.fork(1);
+  Rng childB = parent.fork(1);  // second fork advances parent state
+  EXPECT_NE(childA.uniform(), childB.uniform());
+}
+
+TEST(Rng, SeedCombineMixes) {
+  EXPECT_NE(seed_combine(1, 2, 3), seed_combine(1, 3, 2));
+  EXPECT_NE(seed_combine(1, 2), seed_combine(2, 1));
+  EXPECT_EQ(seed_combine(9, 8, 7), seed_combine(9, 8, 7));
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean_of(v), 5.0);
+  EXPECT_NEAR(stddev_of(v), 2.138, 1e-3);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(stddev_of({3.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_NEAR(quantile(v, 0.25), 1.75, 1e-12);
+}
+
+TEST(Stats, BoxStatsFiveNumberSummary) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  const BoxStats s = box_stats(v);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.iqr(), 2.0);
+}
+
+TEST(Stats, BoxStatsConstantInput) {
+  const BoxStats s = box_stats({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  EXPECT_THROW(box_stats({}), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantileRejectsBadQ) {
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, ToStringMentionsAllFields) {
+  const std::string s = box_stats({1.0, 2.0, 3.0}).to_string();
+  EXPECT_NE(s.find("min="), std::string::npos);
+  EXPECT_NE(s.find("med="), std::string::npos);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- parallel
+
+TEST(Parallel, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ChunksPartitionRange) {
+  std::atomic<std::size_t> total{0};
+  parallel_for_chunks(10, 110, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LE(lo, hi);
+    total += hi - lo;
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 50) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, NestedCallsDegradeSerially) {
+  // A nested parallel_for inside a worker must not deadlock or misbehave.
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 10, [&](std::size_t) { count++; }, 1);
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(Parallel, WorkerCountPositive) { EXPECT_GE(worker_count(), 1u); }
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, RoundTrip) {
+  const std::string path = "/tmp/safelight_csv_test.csv";
+  {
+    CsvWriter writer(path, {"a", "b"});
+    writer.row({"1", "x"});
+    writer.row_values({2.5, 3.25});
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][1], "x");
+  EXPECT_DOUBLE_EQ(std::stod(table.rows[1][0]), 2.5);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileGivesEmptyTable) {
+  const CsvTable table = read_csv("/tmp/safelight_does_not_exist_12345.csv");
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(Csv, RaggedRowThrows) {
+  const std::string path = "/tmp/safelight_csv_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2,3\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, QuotedFieldWithComma) {
+  const std::string path = "/tmp/safelight_csv_quoted.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n\"x,y\",2\n";
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "x,y");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, FmtDoublePrecision) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 4), "2.0000");
+}
+
+// ---------------------------------------------------------------- env
+
+TEST(Env, StringFallback) {
+  unsetenv("SAFELIGHT_TEST_VAR");
+  EXPECT_EQ(env_string("SAFELIGHT_TEST_VAR", "dflt"), "dflt");
+  setenv("SAFELIGHT_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("SAFELIGHT_TEST_VAR", "dflt"), "hello");
+  unsetenv("SAFELIGHT_TEST_VAR");
+}
+
+TEST(Env, IntParsingAndFallback) {
+  setenv("SAFELIGHT_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("SAFELIGHT_TEST_INT", 7), 42);
+  setenv("SAFELIGHT_TEST_INT", "not_a_number", 1);
+  EXPECT_EQ(env_int("SAFELIGHT_TEST_INT", 7), 7);
+  unsetenv("SAFELIGHT_TEST_INT");
+}
+
+TEST(Env, ScaleParsing) {
+  setenv("SAFELIGHT_SCALE", "tiny", 1);
+  EXPECT_EQ(env_scale(), Scale::kTiny);
+  setenv("SAFELIGHT_SCALE", "full", 1);
+  EXPECT_EQ(env_scale(), Scale::kFull);
+  setenv("SAFELIGHT_SCALE", "bogus", 1);
+  EXPECT_EQ(env_scale(), Scale::kDefault);
+  unsetenv("SAFELIGHT_SCALE");
+  EXPECT_EQ(env_scale(), Scale::kDefault);
+}
+
+TEST(Env, ScaleNames) {
+  EXPECT_EQ(to_string(Scale::kTiny), "tiny");
+  EXPECT_EQ(to_string(Scale::kDefault), "default");
+  EXPECT_EQ(to_string(Scale::kFull), "full");
+}
+
+// ---------------------------------------------------------------- error
+
+TEST(Error, RequireThrowsWithPrefix) {
+  try {
+    require(false, "something bad");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("something bad"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, AssertMacroThrowsLogicError) {
+  EXPECT_THROW(SAFELIGHT_ASSERT(false, "invariant"), std::logic_error);
+  EXPECT_NO_THROW(SAFELIGHT_ASSERT(true, "fine"));
+}
+
+}  // namespace
+}  // namespace safelight

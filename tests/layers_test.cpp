@@ -1,0 +1,551 @@
+// Layer forward/backward tests, including numerical gradient checks for
+// every differentiable layer (the core correctness guarantee of the
+// training stack).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
+
+namespace safelight::nn {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng, double lo = -1.0,
+                     double hi = 1.0) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+/// L(x) = sum(forward(x) .* projection); scalar loss for gradient checks.
+double scalar_loss(Layer& layer, const Tensor& x, const Tensor& projection) {
+  const Tensor out = layer.forward(x, /*train=*/true);
+  EXPECT_EQ(out.shape(), projection.shape());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    loss += static_cast<double>(out[i]) * projection[i];
+  }
+  return loss;
+}
+
+/// Verifies analytic input- and parameter-gradients against central
+/// differences. eps/tol tuned for float32 arithmetic.
+void check_gradients(Layer& layer, const Tensor& x, Rng& rng,
+                     float eps = 1e-2f, float tol = 2e-2f) {
+  const Tensor probe = layer.forward(x, /*train=*/true);
+  const Tensor projection = random_tensor(probe.shape(), rng);
+
+  // Analytic gradients.
+  layer.zero_grad();
+  (void)scalar_loss(layer, x, projection);
+  const Tensor grad_in = layer.backward(projection);
+  ASSERT_EQ(grad_in.shape(), x.shape());
+
+  auto close = [&](double analytic, double numeric, const std::string& where) {
+    const double scale = 1.0 + std::abs(analytic) + std::abs(numeric);
+    EXPECT_NEAR(analytic, numeric, tol * scale) << where;
+  };
+
+  // Input gradient (sample a subset for speed on larger tensors).
+  Tensor xp = x;
+  const std::size_t stride = std::max<std::size_t>(1, x.numel() / 24);
+  for (std::size_t i = 0; i < x.numel(); i += stride) {
+    const float original = xp[i];
+    xp[i] = original + eps;
+    const double up = scalar_loss(layer, xp, projection);
+    xp[i] = original - eps;
+    const double down = scalar_loss(layer, xp, projection);
+    xp[i] = original;
+    close(grad_in[i], (up - down) / (2.0 * eps),
+          "input grad at " + std::to_string(i));
+  }
+
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    const std::size_t pstride = std::max<std::size_t>(1, p->value.numel() / 16);
+    for (std::size_t i = 0; i < p->value.numel(); i += pstride) {
+      const float original = p->value[i];
+      p->value[i] = original + eps;
+      const double up = scalar_loss(layer, x, projection);
+      p->value[i] = original - eps;
+      const double down = scalar_loss(layer, x, projection);
+      p->value[i] = original;
+      // Re-establish caches for the analytic gradient state.
+      close(p->grad[i], (up - down) / (2.0 * eps),
+            p->name + " grad at " + std::to_string(i));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- conv
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  EXPECT_EQ(conv.output_shape({2, 3, 8, 8}), (Shape{2, 8, 8, 8}));
+  Conv2d strided(3, 4, 3, 2, 1, rng);
+  EXPECT_EQ(strided.output_shape({1, 3, 8, 8}), (Shape{1, 4, 4, 4}));
+  Conv2d valid(1, 6, 5, 1, 0, rng);
+  EXPECT_EQ(valid.output_shape({1, 1, 28, 28}), (Shape{1, 6, 24, 24}));
+}
+
+TEST(Conv2d, RejectsWrongInput) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  EXPECT_THROW(conv.output_shape({2, 4, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(conv.forward(Tensor({2, 3, 8}), false), std::invalid_argument);
+}
+
+TEST(Conv2d, KnownValue) {
+  // Single 2x2 all-ones kernel over a 2x2 image = sum of pixels.
+  Rng rng(1);
+  Conv2d conv(1, 1, 2, 1, 0, rng);
+  conv.weight().value.fill(1.0f);
+  conv.bias().value.fill(0.5f);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = conv.forward(x, false);
+  ASSERT_EQ(out.numel(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 10.5f);
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(42);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  check_gradients(conv, random_tensor({2, 2, 5, 5}, rng), rng);
+}
+
+TEST(Conv2d, GradientCheckStridedNoPad) {
+  Rng rng(43);
+  Conv2d conv(3, 2, 3, 2, 0, rng);
+  check_gradients(conv, random_tensor({2, 3, 7, 7}, rng), rng);
+}
+
+TEST(Conv2d, GradientCheckNoBias) {
+  Rng rng(44);
+  Conv2d conv(2, 2, 3, 1, 1, rng, /*bias=*/false);
+  EXPECT_EQ(conv.params().size(), 1u);
+  check_gradients(conv, random_tensor({1, 2, 4, 4}, rng), rng);
+}
+
+TEST(Conv2d, BackwardWithoutForwardThrows) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  EXPECT_THROW(conv.backward(Tensor({1, 1, 4, 4})), std::invalid_argument);
+}
+
+TEST(Conv2d, ParamKindsForMapping) {
+  Rng rng(1);
+  Conv2d conv(1, 2, 3, 1, 1, rng);
+  EXPECT_EQ(conv.params()[0]->kind, ParamKind::kConvWeight);
+  EXPECT_EQ(conv.params()[1]->kind, ParamKind::kElectronic);  // bias
+}
+
+// ---------------------------------------------------------------- linear
+
+TEST(Linear, KnownValue) {
+  Rng rng(1);
+  Linear fc(2, 2, rng);
+  fc.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  fc.bias().value = Tensor({2}, {0.5f, -0.5f});
+  Tensor x({1, 2}, {1, 1});
+  const Tensor out = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(out[0], 3.5f);
+  EXPECT_FLOAT_EQ(out[1], 6.5f);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(45);
+  Linear fc(6, 4, rng);
+  check_gradients(fc, random_tensor({3, 6}, rng), rng);
+}
+
+TEST(Linear, ParamKindsForMapping) {
+  Rng rng(1);
+  Linear fc(3, 3, rng);
+  EXPECT_EQ(fc.params()[0]->kind, ParamKind::kLinearWeight);
+  EXPECT_EQ(fc.params()[1]->kind, ParamKind::kElectronic);
+}
+
+TEST(Linear, RejectsWrongFeatureCount) {
+  Rng rng(1);
+  Linear fc(3, 2, rng);
+  EXPECT_THROW(fc.forward(Tensor({1, 4}), false), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- relu
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::from({-1, 0, 2});
+  const Tensor out = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(ReLU, GradientCheck) {
+  Rng rng(46);
+  ReLU relu;
+  check_gradients(relu, random_tensor({2, 10}, rng), rng);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor x = Tensor::from({-1, 3});
+  relu.forward(x, true);
+  const Tensor g = relu.backward(Tensor::from({5, 5}));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 5.0f);
+}
+
+TEST(Softmax2d, RowsSumToOne) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  const Tensor p = softmax2d(logits);
+  for (std::size_t n = 0; n < 2; ++n) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 3; ++c) sum += p[n * 3 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  EXPECT_GT(p[2], p[0]);  // monotone in logits
+}
+
+TEST(Softmax2d, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 2}, {1000.0f, 999.0f});
+  const Tensor p = softmax2d(logits);
+  EXPECT_TRUE(p.all_finite());
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-5);
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(MaxPool2d, ForwardSelectsMax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor out = pool.forward(x, false);
+  ASSERT_EQ(out.numel(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  pool.forward(x, true);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, {7}));
+  EXPECT_FLOAT_EQ(g[1], 7.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(MaxPool2d, GradientCheck) {
+  Rng rng(47);
+  MaxPool2d pool(2);
+  check_gradients(pool, random_tensor({2, 3, 4, 4}, rng), rng);
+}
+
+TEST(MaxPool2d, OddSizesTruncate) {
+  MaxPool2d pool(2);
+  EXPECT_EQ(pool.output_shape({1, 1, 5, 7}), (Shape{1, 1, 2, 3}));
+}
+
+TEST(GlobalAvgPool, ForwardAverages) {
+  GlobalAvgPool pool;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  const Tensor out = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 10.0f);
+}
+
+TEST(GlobalAvgPool, GradientCheck) {
+  Rng rng(48);
+  GlobalAvgPool pool;
+  check_gradients(pool, random_tensor({2, 3, 3, 3}, rng), rng);
+}
+
+TEST(Flatten, RoundTrip) {
+  Rng rng(49);
+  Flatten flatten;
+  const Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  const Tensor out = flatten.forward(x, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 48}));
+  const Tensor g = flatten.backward(out);
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_FLOAT_EQ(max_abs_diff(g, x), 0.0f);
+}
+
+// ---------------------------------------------------------------- batchnorm
+
+TEST(BatchNorm2d, NormalizesTrainBatch) {
+  BatchNorm2d bn(2);
+  Rng rng(50);
+  const Tensor x = random_tensor({4, 2, 3, 3}, rng, -2.0, 5.0);
+  const Tensor out = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0, sq = 0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n) {
+      for (std::size_t i = 0; i < 9; ++i) {
+        const float v = out[(n * 2 + c) * 9 + i];
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Rng rng(51);
+  // Train on shifted data to move the running stats.
+  for (int step = 0; step < 50; ++step) {
+    bn.forward(random_tensor({8, 1, 2, 2}, rng, 4.0, 6.0), true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.3f);
+  // Eval output on the same distribution should be ~N(0,1).
+  const Tensor out = bn.forward(random_tensor({8, 1, 2, 2}, rng, 4.0, 6.0),
+                                false);
+  EXPECT_LT(std::abs(out.sum() / static_cast<float>(out.numel())), 0.5f);
+}
+
+TEST(BatchNorm2d, GradientCheck) {
+  Rng rng(52);
+  BatchNorm2d bn(3);
+  check_gradients(bn, random_tensor({3, 3, 2, 2}, rng), rng, 1e-2f, 4e-2f);
+}
+
+TEST(BatchNorm2d, StateTensorsExposed) {
+  BatchNorm2d bn(4);
+  EXPECT_EQ(bn.state_tensors().size(), 2u);
+  EXPECT_EQ(bn.params().size(), 2u);
+}
+
+// ---------------------------------------------------------------- dropout
+
+TEST(Dropout, IdentityAtEval) {
+  Dropout dropout(0.5f, 7);
+  Rng rng(53);
+  const Tensor x = random_tensor({2, 10}, rng);
+  const Tensor out = dropout.forward(x, false);
+  EXPECT_FLOAT_EQ(max_abs_diff(out, x), 0.0f);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityInTrain) {
+  Dropout dropout(0.0f, 7);
+  Rng rng(54);
+  const Tensor x = random_tensor({2, 10}, rng);
+  const Tensor out = dropout.forward(x, true);
+  EXPECT_FLOAT_EQ(max_abs_diff(out, x), 0.0f);
+}
+
+TEST(Dropout, DropsAndRescales) {
+  Dropout dropout(0.5f, 7);
+  Tensor x = Tensor::full({1, 1000}, 1.0f);
+  const Tensor out = dropout.forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros), 500.0, 60.0);
+}
+
+TEST(Dropout, BackwardMatchesForwardMask) {
+  Dropout dropout(0.3f, 11);
+  Tensor x = Tensor::full({1, 100}, 1.0f);
+  const Tensor out = dropout.forward(x, true);
+  const Tensor g = dropout.backward(Tensor::full({1, 100}, 1.0f));
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (out[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(g[i], 0.0f);
+    } else {
+      EXPECT_GT(g[i], 1.0f);
+    }
+  }
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  EXPECT_THROW(Dropout(1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- residual
+
+TEST(BasicBlock, IdentityShapePreserved) {
+  Rng rng(60);
+  BasicBlock block(4, 4, 1, rng);
+  EXPECT_EQ(block.output_shape({2, 4, 8, 8}), (Shape{2, 4, 8, 8}));
+}
+
+TEST(BasicBlock, DownsampleShape) {
+  Rng rng(61);
+  BasicBlock block(4, 8, 2, rng);
+  EXPECT_EQ(block.output_shape({2, 4, 8, 8}), (Shape{2, 8, 4, 4}));
+  EXPECT_EQ(block.output_shape({1, 4, 7, 7}), (Shape{1, 8, 4, 4}));
+}
+
+TEST(BasicBlock, OptionARequiresWidening) {
+  Rng rng(62);
+  EXPECT_THROW(BasicBlock(8, 4, 1, rng), std::invalid_argument);
+}
+
+TEST(BasicBlock, ParameterInventory) {
+  Rng rng(63);
+  BasicBlock block(4, 8, 2, rng);
+  // Two conv weights (no biases) + two BN gamma/beta pairs = 6 params,
+  // and the shortcut adds none (option A is parameter-free).
+  EXPECT_EQ(block.params().size(), 6u);
+  EXPECT_EQ(block.state_tensors().size(), 4u);
+}
+
+TEST(BasicBlock, GradientCheckIdentity) {
+  Rng rng(64);
+  BasicBlock block(3, 3, 1, rng);
+  check_gradients(block, random_tensor({2, 3, 4, 4}, rng), rng, 1e-2f, 5e-2f);
+}
+
+TEST(BasicBlock, GradientCheckDownsample) {
+  // Element-wise finite differences are unreliable here: the downsample
+  // path pushes many activations across ReLU kinks, giving O(eps)
+  // subgradient error. Check the directional derivative instead and assert
+  // it converges toward the analytic value as eps shrinks.
+  Rng rng(65);
+  BasicBlock block(2, 4, 2, rng);
+  const Tensor x = random_tensor({2, 2, 6, 6}, rng);
+  const Tensor probe = block.forward(x, true);
+  const Tensor projection = random_tensor(probe.shape(), rng);
+
+  block.zero_grad();
+  (void)scalar_loss(block, x, projection);
+  const Tensor grad_in = block.backward(projection);
+
+  std::vector<float> dir_x(x.numel());
+  for (auto& v : dir_x) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<std::vector<float>> dir_p;
+  for (Param* p : block.params()) {
+    std::vector<float> d(p->value.numel());
+    for (auto& v : d) v = static_cast<float>(rng.uniform(-1, 1));
+    dir_p.push_back(std::move(d));
+  }
+  double analytic = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) analytic += grad_in[i] * dir_x[i];
+  {
+    std::size_t k = 0;
+    for (Param* p : block.params()) {
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        analytic += p->grad[i] * dir_p[k][i];
+      }
+      ++k;
+    }
+  }
+
+  auto directional = [&](double eps) {
+    auto loss_at = [&](double sign) {
+      Tensor xs = x;
+      for (std::size_t i = 0; i < x.numel(); ++i) {
+        xs[i] += static_cast<float>(sign * eps * dir_x[i]);
+      }
+      std::vector<Tensor> saved;
+      for (Param* p : block.params()) saved.push_back(p->value);
+      std::size_t k = 0;
+      for (Param* p : block.params()) {
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+          p->value[i] += static_cast<float>(sign * eps * dir_p[k][i]);
+        }
+        ++k;
+      }
+      const double loss = scalar_loss(block, xs, projection);
+      std::size_t j = 0;
+      for (Param* p : block.params()) p->value = saved[j++];
+      return loss;
+    };
+    return (loss_at(1.0) - loss_at(-1.0)) / (2.0 * eps);
+  };
+
+  const double err_coarse =
+      std::abs(directional(1e-2) - analytic) / (std::abs(analytic) + 1e-9);
+  const double err_fine =
+      std::abs(directional(2e-3) - analytic) / (std::abs(analytic) + 1e-9);
+  EXPECT_LT(err_fine, 0.06);
+  EXPECT_LT(err_fine, err_coarse + 1e-6);  // converging toward analytic
+}
+
+// ---------------------------------------------------------------- sequential
+
+TEST(Sequential, ForwardChainsLayers) {
+  Rng rng(70);
+  Sequential model;
+  model.emplace<Linear>(4, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Linear>(8, 3, rng);
+  const Tensor out = model.forward(random_tensor({2, 4}, rng), false);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_EQ(model.output_shape({2, 4}), (Shape{2, 3}));
+}
+
+TEST(Sequential, GradientCheckComposite) {
+  Rng rng(71);
+  Sequential model;
+  model.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  model.emplace<ReLU>();
+  model.emplace<MaxPool2d>(2);
+  model.emplace<Flatten>();
+  model.emplace<Linear>(2 * 2 * 2, 3, rng);
+  check_gradients(model, random_tensor({2, 1, 4, 4}, rng), rng, 1e-2f, 4e-2f);
+}
+
+TEST(Sequential, ParamAggregation) {
+  Rng rng(72);
+  Sequential model;
+  model.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  model.emplace<BatchNorm2d>(2);
+  model.emplace<Linear>(8, 2, rng);
+  EXPECT_EQ(model.params().size(), 6u);  // conv w+b, bn g+b, fc w+b
+  EXPECT_EQ(model.state_tensors().size(), 2u);
+  EXPECT_GT(model.num_parameters(), 0u);
+}
+
+TEST(Sequential, PredictArgmax) {
+  Rng rng(73);
+  Sequential model;
+  auto& fc = model.emplace<Linear>(2, 2, rng);
+  fc.weight().value = Tensor({2, 2}, {1, 0, 0, 1});
+  fc.bias().value.fill(0.0f);
+  Tensor x({2, 2}, {3, 1, 0, 5});
+  const auto preds = model.predict(x);
+  EXPECT_EQ(preds[0], 0);
+  EXPECT_EQ(preds[1], 1);
+  EXPECT_DOUBLE_EQ(model.accuracy(x, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(model.accuracy(x, {1, 1}), 0.5);
+}
+
+TEST(Sequential, SummaryListsLayers) {
+  Rng rng(74);
+  Sequential model;
+  model.emplace<Linear>(2, 2, rng);
+  const std::string s = model.summary();
+  EXPECT_NE(s.find("Linear(2->2)"), std::string::npos);
+}
+
+TEST(Sequential, LayerAccessBoundsChecked) {
+  Sequential model;
+  EXPECT_THROW(model.layer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace safelight::nn

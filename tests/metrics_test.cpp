@@ -1,0 +1,119 @@
+// Tests for classification metrics (confusion matrix, collapse diagnosis).
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/metrics.hpp"
+#include "nn/pool.hpp"
+#include "nn/synthetic.hpp"
+
+namespace safelight::nn {
+namespace {
+
+ConfusionMatrix small_matrix() {
+  ConfusionMatrix m(3);
+  // truth 0: 2 correct, 1 confused as 1.
+  m.record(0, 0);
+  m.record(0, 0);
+  m.record(0, 1);
+  // truth 1: 1 correct.
+  m.record(1, 1);
+  // truth 2: 2 confused as 0.
+  m.record(2, 0);
+  m.record(2, 0);
+  return m;
+}
+
+TEST(ConfusionMatrix, CountsAndTotals) {
+  const ConfusionMatrix m = small_matrix();
+  EXPECT_EQ(m.total(), 6u);
+  EXPECT_EQ(m.count(0, 0), 2u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_EQ(m.count(2, 0), 2u);
+  EXPECT_EQ(m.count(2, 2), 0u);
+}
+
+TEST(ConfusionMatrix, Accuracy) {
+  const ConfusionMatrix m = small_matrix();
+  EXPECT_NEAR(m.accuracy(), 3.0 / 6.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, RecallPerClass) {
+  const ConfusionMatrix m = small_matrix();
+  EXPECT_NEAR(m.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(m.recall(2), 0.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PrecisionPerClass) {
+  const ConfusionMatrix m = small_matrix();
+  EXPECT_NEAR(m.precision(0), 2.0 / 4.0, 1e-12);  // 2 of 4 predicted-0
+  EXPECT_NEAR(m.precision(1), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(m.precision(2), 0.0, 1e-12);  // never predicted
+}
+
+TEST(ConfusionMatrix, BalancedAccuracy) {
+  const ConfusionMatrix m = small_matrix();
+  EXPECT_NEAR(m.balanced_accuracy(), (2.0 / 3.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, BalancedAccuracyIgnoresUnseenClasses) {
+  ConfusionMatrix m(4);
+  m.record(0, 0);
+  m.record(1, 1);
+  EXPECT_NEAR(m.balanced_accuracy(), 1.0, 1e-12);  // classes 2,3 unseen
+}
+
+TEST(ConfusionMatrix, PredictionCollapseDetectsDegenerateModel) {
+  ConfusionMatrix uniform(2);
+  uniform.record(0, 0);
+  uniform.record(1, 1);
+  EXPECT_NEAR(uniform.prediction_collapse(), 0.5, 1e-12);
+
+  ConfusionMatrix collapsed(2);
+  for (int i = 0; i < 10; ++i) collapsed.record(i % 2, 0);
+  EXPECT_NEAR(collapsed.prediction_collapse(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixSafeDefaults) {
+  ConfusionMatrix m(3);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.balanced_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.prediction_collapse(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 0.0);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.record(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.record(0, -1), std::invalid_argument);
+  EXPECT_THROW(m.count(0, 5), std::invalid_argument);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RenderContainsAllRows) {
+  const std::string out = small_matrix().render();
+  EXPECT_NE(out.find("truth\\pred"), std::string::npos);
+  // 1 header + 3 data rows.
+  std::size_t lines = 0;
+  for (char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(ConfusionMatrix, FromModelMatchesManualEvaluation) {
+  SynthConfig config;
+  config.count = 50;
+  config.image_size = 12;
+  const Dataset data = synth_digits(config);
+  Rng rng(3);
+  Sequential model;
+  model.emplace<Flatten>();
+  model.emplace<Linear>(144, 10, rng);
+  const ConfusionMatrix m = confusion_matrix(model, data);
+  EXPECT_EQ(m.total(), 50u);
+  EXPECT_NEAR(m.accuracy(), model.accuracy(data.images, data.labels), 1e-12);
+}
+
+}  // namespace
+}  // namespace safelight::nn

@@ -1,0 +1,588 @@
+// Tests for loss, optimizer, noise injection, datasets, synthetic data,
+// serialization and the training loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dataset.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/noise.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "nn/synthetic.hpp"
+#include "nn/trainer.hpp"
+
+namespace safelight::nn {
+namespace {
+
+// ---------------------------------------------------------------- loss
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});  // zeros -> uniform distribution
+  const LossResult r = cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  Tensor logits({1, 3}, {20.0f, 0.0f, 0.0f});
+  const LossResult r = cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Tensor logits({3, 5});
+  Rng rng(5);
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = static_cast<float>(rng.uniform(-2, 2));
+  }
+  const LossResult r = cross_entropy(logits, {1, 4, 0});
+  for (std::size_t n = 0; n < 3; ++n) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 5; ++c) sum += r.grad[n * 5 + c];
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Tensor logits({2, 3}, {0.5f, -1.0f, 2.0f, 1.0f, 1.0f, 0.0f});
+  const std::vector<int> labels = {2, 0};
+  const LossResult r = cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor up = logits, down = logits;
+    up[i] += eps;
+    down[i] -= eps;
+    const double numeric = (cross_entropy(up, labels).loss -
+                            cross_entropy(down, labels).loss) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(logits, {-1}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(CrossEntropy, StableForExtremeLogits) {
+  Tensor logits({1, 2}, {500.0f, -500.0f});
+  const LossResult r = cross_entropy(logits, {1});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_TRUE(r.grad.all_finite());
+}
+
+// ---------------------------------------------------------------- optimizer
+
+TEST(Sgd, MinimizesQuadratic) {
+  // One parameter, loss = 0.5 * w^2 -> grad = w; SGD should drive w to 0.
+  Param w("w", ParamKind::kLinearWeight, Tensor({1}, {4.0f}));
+  Sgd opt({&w}, SgdConfig{0.1f, 0.0f, 0.0f});
+  for (int i = 0; i < 100; ++i) {
+    w.grad[0] = w.value[0];
+    opt.step();
+    opt.zero_grad();
+  }
+  EXPECT_NEAR(w.value[0], 0.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAccelerates) {
+  Param a("a", ParamKind::kLinearWeight, Tensor({1}, {1.0f}));
+  Param b("b", ParamKind::kLinearWeight, Tensor({1}, {1.0f}));
+  Sgd plain({&a}, SgdConfig{0.01f, 0.0f, 0.0f});
+  Sgd momentum({&b}, SgdConfig{0.01f, 0.9f, 0.0f});
+  for (int i = 0; i < 20; ++i) {
+    a.grad[0] = a.value[0];
+    b.grad[0] = b.value[0];
+    plain.step();
+    momentum.step();
+    plain.zero_grad();
+    momentum.zero_grad();
+  }
+  EXPECT_LT(std::abs(b.value[0]), std::abs(a.value[0]));
+}
+
+TEST(Sgd, WeightDecayShrinksMappedWeights) {
+  Param w("w", ParamKind::kConvWeight, Tensor({1}, {2.0f}));
+  Sgd opt({&w}, SgdConfig{0.1f, 0.0f, 0.5f});
+  opt.step();  // zero gradient; only decay acts
+  EXPECT_LT(w.value[0], 2.0f);
+}
+
+TEST(Sgd, WeightDecaySparesElectronicParams) {
+  Param bias("b", ParamKind::kElectronic, Tensor({1}, {2.0f}));
+  Sgd opt({&bias}, SgdConfig{0.1f, 0.0f, 0.5f});
+  opt.step();
+  EXPECT_FLOAT_EQ(bias.value[0], 2.0f);
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  Param w("w", ParamKind::kLinearWeight, Tensor({1}));
+  EXPECT_THROW(Sgd({&w}, SgdConfig{0.0f, 0.9f, 0.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(Sgd({&w}, SgdConfig{0.1f, 1.0f, 0.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(Sgd({&w}, SgdConfig{0.1f, 0.5f, -0.1f}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- noise
+
+TEST(NoiseInjector, DisabledIsNoop) {
+  Param w("w", ParamKind::kConvWeight, Tensor({4}, {1, 2, 3, 4}));
+  NoiseInjector injector(NoiseConfig{}, 3);
+  injector.perturb({&w});
+  EXPECT_FLOAT_EQ(w.value[0], 1.0f);
+  injector.restore({&w});
+  EXPECT_FLOAT_EQ(w.value[3], 4.0f);
+}
+
+TEST(NoiseInjector, PerturbThenRestoreRoundTrips) {
+  Param w("w", ParamKind::kConvWeight, Tensor({100}));
+  Rng rng(4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    w.value[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const Tensor original = w.value;
+  NoiseInjector injector(NoiseConfig{0.5f}, 3);
+  injector.perturb({&w});
+  EXPECT_GT(max_abs_diff(original, w.value), 0.0f);
+  injector.restore({&w});
+  EXPECT_FLOAT_EQ(max_abs_diff(original, w.value), 0.0f);
+}
+
+TEST(NoiseInjector, ElectronicParamsSparedByDefault) {
+  Param bias("b", ParamKind::kElectronic, Tensor({10}, std::vector<float>(10, 1.0f)));
+  NoiseInjector injector(NoiseConfig{0.9f}, 3);
+  injector.perturb({&bias});
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(bias.value[i], 1.0f);
+  injector.restore({&bias});
+}
+
+TEST(NoiseInjector, RelativeToStdScalesWithSigma) {
+  auto measure = [](float sigma) {
+    Param w("w", ParamKind::kConvWeight, Tensor({2000}));
+    Rng rng(9);
+    for (std::size_t i = 0; i < w.value.numel(); ++i) {
+      w.value[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    }
+    const Tensor original = w.value;
+    NoiseInjector injector(NoiseConfig{sigma, NoiseMode::kRelativeToStd}, 7);
+    injector.perturb({&w});
+    double sq = 0;
+    for (std::size_t i = 0; i < w.value.numel(); ++i) {
+      const double d = w.value[i] - original[i];
+      sq += d * d;
+    }
+    return std::sqrt(sq / static_cast<double>(w.value.numel()));
+  };
+  // Weight std ~1 -> noise std ~sigma.
+  EXPECT_NEAR(measure(0.2f), 0.2, 0.05);
+  EXPECT_NEAR(measure(0.8f), 0.8, 0.15);
+}
+
+TEST(NoiseInjector, AbsoluteModeIgnoresWeightScale) {
+  Param w("w", ParamKind::kConvWeight, Tensor({2000}));  // all zeros
+  NoiseInjector injector(NoiseConfig{0.3f, NoiseMode::kAbsolute}, 7);
+  injector.perturb({&w});
+  double sq = 0;
+  for (std::size_t i = 0; i < w.value.numel(); ++i) {
+    sq += static_cast<double>(w.value[i]) * w.value[i];
+  }
+  EXPECT_NEAR(std::sqrt(sq / 2000.0), 0.3, 0.06);
+  injector.restore({&w});
+}
+
+TEST(NoiseInjector, ProportionalModeLeavesZerosAlone) {
+  Param w("w", ParamKind::kConvWeight, Tensor({4}, {0.0f, 1.0f, 0.0f, -1.0f}));
+  NoiseInjector injector(NoiseConfig{0.5f, NoiseMode::kProportional}, 7);
+  injector.perturb({&w});
+  EXPECT_FLOAT_EQ(w.value[0], 0.0f);
+  EXPECT_FLOAT_EQ(w.value[2], 0.0f);
+  injector.restore({&w});
+}
+
+TEST(NoiseInjector, DoublePerturbIsInvariantViolation) {
+  Param w("w", ParamKind::kConvWeight, Tensor({4}, {1, 1, 1, 1}));
+  NoiseInjector injector(NoiseConfig{0.5f}, 3);
+  injector.perturb({&w});
+  EXPECT_THROW(injector.perturb({&w}), std::logic_error);
+}
+
+// ---------------------------------------------------------------- dataset
+
+Dataset tiny_dataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = 2;
+  d.images = Tensor({4, 1, 2, 2});
+  for (std::size_t i = 0; i < d.images.numel(); ++i) {
+    d.images[i] = static_cast<float>(i);
+  }
+  d.labels = {0, 1, 0, 1};
+  return d;
+}
+
+TEST(Dataset, BatchSlices) {
+  const Dataset d = tiny_dataset();
+  auto [images, labels] = d.batch(1, 3);
+  EXPECT_EQ(images.dim(0), 2u);
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_FLOAT_EQ(images[0], 4.0f);  // sample 1 starts at flat index 4
+}
+
+TEST(Dataset, GatherArbitraryIndices) {
+  const Dataset d = tiny_dataset();
+  auto [images, labels] = d.gather({3, 0});
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_FLOAT_EQ(images[0], 12.0f);
+}
+
+TEST(Dataset, TakeClampsAndPreservesMeta) {
+  const Dataset d = tiny_dataset();
+  const Dataset t = d.take(10);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.num_classes, 2u);
+  const Dataset t2 = d.take(2);
+  EXPECT_EQ(t2.size(), 2u);
+}
+
+TEST(Dataset, ValidateCatchesBadLabels) {
+  Dataset d = tiny_dataset();
+  d.labels[2] = 7;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, BatchRangeChecks) {
+  const Dataset d = tiny_dataset();
+  EXPECT_THROW(d.batch(2, 2), std::invalid_argument);
+  EXPECT_THROW(d.batch(0, 5), std::invalid_argument);
+  EXPECT_THROW(d.gather({4}), std::invalid_argument);
+}
+
+TEST(BatchIterator, CoversEpochExactlyOnce) {
+  const Dataset d = tiny_dataset();
+  Rng rng(8);
+  BatchIterator it(d, 3, rng, /*shuffle=*/true);
+  Tensor images;
+  std::vector<int> labels;
+  std::size_t total = 0;
+  while (it.next(images, labels)) total += labels.size();
+  EXPECT_EQ(total, 4u);
+  EXPECT_FALSE(it.next(images, labels));
+}
+
+TEST(BatchIterator, UnshuffledPreservesOrder) {
+  const Dataset d = tiny_dataset();
+  Rng rng(8);
+  BatchIterator it(d, 2, rng, /*shuffle=*/false);
+  Tensor images;
+  std::vector<int> labels;
+  ASSERT_TRUE(it.next(images, labels));
+  EXPECT_EQ(labels, (std::vector<int>{0, 1}));
+}
+
+// ---------------------------------------------------------------- synthetic
+
+class SyntheticFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SyntheticFamilyTest, ShapesAndDeterminism) {
+  SynthConfig config;
+  config.count = 40;
+  config.seed = 5;
+  const Dataset a = make_synthetic(GetParam(), config);
+  const Dataset b = make_synthetic(GetParam(), config);
+  a.validate();
+  EXPECT_EQ(a.size(), 40u);
+  EXPECT_EQ(a.num_classes, 10u);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.images, b.images), 0.0f);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST_P(SyntheticFamilyTest, SeedChangesData) {
+  SynthConfig a_config, b_config;
+  a_config.count = b_config.count = 20;
+  a_config.seed = 1;
+  b_config.seed = 2;
+  const Dataset a = make_synthetic(GetParam(), a_config);
+  const Dataset b = make_synthetic(GetParam(), b_config);
+  EXPECT_GT(max_abs_diff(a.images, b.images), 0.0f);
+}
+
+TEST_P(SyntheticFamilyTest, ClassBalanced) {
+  SynthConfig config;
+  config.count = 50;
+  const Dataset d = make_synthetic(GetParam(), config);
+  std::vector<int> counts(10, 0);
+  for (int label : d.labels) counts[static_cast<std::size_t>(label)]++;
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST_P(SyntheticFamilyTest, PixelsBounded) {
+  SynthConfig config;
+  config.count = 20;
+  const Dataset d = make_synthetic(GetParam(), config);
+  EXPECT_GE(d.images.min(), -0.5f);
+  EXPECT_LE(d.images.max(), 0.5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SyntheticFamilyTest,
+                         ::testing::Values("digits", "shapes", "textures"));
+
+TEST(Synthetic, UnknownFamilyThrows) {
+  EXPECT_THROW(make_synthetic("nope", SynthConfig{}), std::invalid_argument);
+}
+
+TEST(Synthetic, CustomImageSize) {
+  SynthConfig config;
+  config.count = 10;
+  config.image_size = 20;
+  EXPECT_EQ(synth_digits(config).images.dim(2), 20u);
+  EXPECT_EQ(synth_shapes(config).images.dim(3), 20u);
+}
+
+TEST(Synthetic, RejectsTinyImages) {
+  SynthConfig config;
+  config.count = 10;
+  config.image_size = 4;
+  EXPECT_THROW(synth_digits(config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- serialize
+
+Sequential make_small_model(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential model;
+  model.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  model.emplace<BatchNorm2d>(2);
+  model.emplace<ReLU>();
+  model.emplace<Flatten>();
+  model.emplace<Linear>(2 * 4 * 4, 3, rng);
+  return model;
+}
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/safelight_model_test.slw";
+  Sequential a = make_small_model(1);
+  // Touch BN running stats so state tensors are non-trivial.
+  Rng rng(2);
+  Tensor x({4, 1, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  a.forward(x, true);
+  save_model(a, path);
+
+  Sequential b = make_small_model(99);  // different init
+  load_model(b, path);
+  const Tensor out_a = a.forward(x, false);
+  const Tensor out_b = b.forward(x, false);
+  EXPECT_FLOAT_EQ(max_abs_diff(out_a, out_b), 0.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ChecksumDetectsCorruption) {
+  const std::string path = "/tmp/safelight_model_corrupt.slw";
+  Sequential a = make_small_model(1);
+  save_model(a, path);
+  // Flip one byte in the middle of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    char byte;
+    f.seekg(100);
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(100);
+    f.write(&byte, 1);
+  }
+  Sequential b = make_small_model(2);
+  EXPECT_THROW(load_model(b, path), std::runtime_error);
+  EXPECT_FALSE(model_file_matches(b, path));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ArchitectureMismatchRejected) {
+  const std::string path = "/tmp/safelight_model_arch.slw";
+  Sequential a = make_small_model(1);
+  save_model(a, path);
+  Rng rng(3);
+  Sequential different;
+  different.emplace<Linear>(4, 2, rng);
+  EXPECT_THROW(load_model(different, path), std::runtime_error);
+  EXPECT_FALSE(model_file_matches(different, path));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFile) {
+  Sequential a = make_small_model(1);
+  EXPECT_THROW(load_model(a, "/tmp/safelight_no_such_file.slw"),
+               std::runtime_error);
+  EXPECT_FALSE(model_file_matches(a, "/tmp/safelight_no_such_file.slw"));
+}
+
+TEST(Serialize, SnapshotRestoreRoundTrip) {
+  Sequential a = make_small_model(1);
+  const auto snapshot = snapshot_state(a);
+  const Tensor x({1, 1, 4, 4});
+  const Tensor before = a.forward(x, false);
+  for (Param* p : a.params()) p->value.fill(0.1f);
+  restore_state(a, snapshot);
+  const Tensor after = a.forward(x, false);
+  EXPECT_FLOAT_EQ(max_abs_diff(before, after), 0.0f);
+}
+
+TEST(Serialize, RestoreRejectsWrongSnapshot) {
+  Sequential a = make_small_model(1);
+  Rng rng(5);
+  Sequential b;
+  b.emplace<Linear>(2, 2, rng);
+  const auto snapshot = snapshot_state(b);
+  EXPECT_THROW(restore_state(a, snapshot), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- trainer
+
+TEST(Trainer, LearnsLinearlySeparableData) {
+  // Two-class 2D blobs -> a linear model must reach high accuracy.
+  Dataset train;
+  train.name = "blobs";
+  train.num_classes = 2;
+  const std::size_t n = 120;
+  train.images = Tensor({n, 1, 1, 2});
+  train.labels.resize(n);
+  Rng rng(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double cx = label == 0 ? -0.5 : 0.5;
+    train.images[i * 2 + 0] = static_cast<float>(cx + rng.gaussian(0, 0.2));
+    train.images[i * 2 + 1] = static_cast<float>(rng.gaussian(0, 0.2));
+    train.labels[i] = label;
+  }
+
+  Sequential model;
+  Rng mrng(3);
+  model.emplace<Flatten>();
+  model.emplace<Linear>(2, 2, mrng);
+
+  TrainConfig config;
+  config.epochs = 20;
+  config.batch_size = 16;
+  config.lr = 0.5f;
+  const TrainHistory history = train_model(model, train, train, config);
+  EXPECT_GT(history.final_test_acc, 0.95);
+  // Loss decreased over training.
+  EXPECT_LT(history.train_loss.back(), history.train_loss.front());
+}
+
+TEST(Trainer, L2DecayKeepsWeightsSmaller) {
+  SynthConfig data_config;
+  data_config.count = 60;
+  data_config.image_size = 12;
+  const Dataset train = synth_digits(data_config);
+
+  auto train_with = [&](float decay) {
+    Rng rng(4);
+    Sequential model;
+    model.emplace<Flatten>();
+    model.emplace<Linear>(144, 10, rng);
+    TrainConfig config;
+    config.epochs = 8;
+    config.weight_decay = decay;
+    config.lr = 0.1f;
+    train_model(model, train, Dataset{train}, config);
+    double sq = 0;
+    for (Param* p : model.params()) {
+      if (p->kind != ParamKind::kElectronic) sq += p->value.sum_squares();
+    }
+    return sq;
+  };
+  EXPECT_LT(train_with(0.01f), train_with(0.0f));
+}
+
+TEST(Trainer, NoiseAwareTrainingStillLearns) {
+  SynthConfig data_config;
+  data_config.count = 150;
+  data_config.image_size = 12;
+  const Dataset train = synth_digits(data_config);
+
+  Rng rng(4);
+  Sequential model;
+  model.emplace<Flatten>();
+  model.emplace<Linear>(144, 10, rng);
+  TrainConfig config;
+  config.epochs = 16;
+  config.lr = 0.1f;
+  config.noise.sigma = 0.3f;
+  const TrainHistory history =
+      train_model(model, train, Dataset{train}, config);
+  // Noise-aware training converges slower but must still clearly beat the
+  // 10% random-guess floor on the training distribution.
+  EXPECT_GT(history.final_test_acc, 0.55);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  SynthConfig data_config;
+  data_config.count = 40;
+  data_config.image_size = 12;
+  const Dataset train = synth_digits(data_config);
+
+  auto run = [&]() {
+    Rng rng(4);
+    Sequential model;
+    model.emplace<Flatten>();
+    model.emplace<Linear>(144, 10, rng);
+    TrainConfig config;
+    config.epochs = 2;
+    config.seed = 31;
+    train_model(model, train, Dataset{train}, config);
+    return snapshot_state(model);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(max_abs_diff(a[i], b[i]), 0.0f);
+  }
+}
+
+TEST(Trainer, EvaluateMatchesManualCount) {
+  Dataset d;
+  d.num_classes = 2;
+  d.images = Tensor({2, 1, 1, 2}, {1, 0, 0, 1});
+  d.labels = {0, 1};
+  Sequential model;
+  Rng rng(3);
+  auto& fc = model.emplace<Flatten>();
+  (void)fc;
+  auto& lin = model.emplace<Linear>(2, 2, rng);
+  lin.weight().value = Tensor({2, 2}, {1, 0, 0, 1});
+  lin.bias().value.fill(0.0f);
+  EXPECT_DOUBLE_EQ(evaluate(model, d), 1.0);
+}
+
+TEST(Trainer, RejectsZeroEpochs) {
+  Dataset d;
+  d.num_classes = 2;
+  d.images = Tensor({2, 1, 1, 1});
+  d.labels = {0, 1};
+  Sequential model;
+  TrainConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(train_model(model, d, d, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace safelight::nn

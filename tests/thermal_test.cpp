@@ -1,0 +1,291 @@
+// Tests for the HotSpot-like thermal substrate: grid, SOR solver,
+// floorplans and heatmap rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "common/csv.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/heatmap.hpp"
+#include "thermal/solver.hpp"
+
+namespace safelight::thermal {
+namespace {
+
+GridConfig small_grid_config(std::size_t rows = 21, std::size_t cols = 21) {
+  GridConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  return config;
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(ThermalGrid, StartsAtAmbient) {
+  ThermalGrid grid(small_grid_config(3, 4));
+  EXPECT_EQ(grid.rows(), 3u);
+  EXPECT_EQ(grid.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(grid.temperature_k(r, c), 300.0);
+      EXPECT_DOUBLE_EQ(grid.delta_t(r, c), 0.0);
+    }
+  }
+}
+
+TEST(ThermalGrid, PowerAccumulates) {
+  ThermalGrid grid(small_grid_config(2, 2));
+  grid.add_power_mw(0, 1, 10.0);
+  grid.add_power_mw(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(grid.power_mw(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(grid.total_power_mw(), 15.0);
+  grid.clear_power();
+  EXPECT_DOUBLE_EQ(grid.total_power_mw(), 0.0);
+}
+
+TEST(ThermalGrid, BoundsChecked) {
+  ThermalGrid grid(small_grid_config(2, 2));
+  EXPECT_THROW(grid.add_power_mw(2, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(grid.temperature_k(0, 2), std::invalid_argument);
+  EXPECT_THROW(grid.add_power_mw(0, 0, -1.0), std::invalid_argument);
+}
+
+TEST(ThermalGrid, ConfigValidation) {
+  GridConfig config;
+  EXPECT_THROW(ThermalGrid{config}, std::invalid_argument);  // 0x0
+  config = small_grid_config();
+  config.ambient_k = -1.0;
+  EXPECT_THROW(ThermalGrid{config}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- solver
+
+TEST(Solver, NoPowerStaysAmbient) {
+  ThermalGrid grid(small_grid_config());
+  const SolveResult result = solve_steady_state(grid);
+  EXPECT_TRUE(result.converged);
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      EXPECT_NEAR(grid.temperature_k(r, c), 300.0, 1e-6);
+    }
+  }
+}
+
+TEST(Solver, PointSourcePeaksAtSource) {
+  ThermalGrid grid(small_grid_config());
+  grid.add_power_mw(10, 10, 45.0);
+  ASSERT_TRUE(solve_steady_state(grid).converged);
+  const double peak = grid.delta_t(10, 10);
+  EXPECT_GT(peak, 5.0);    // a hotspot, not a ripple
+  EXPECT_LT(peak, 200.0);  // physically plausible rise
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      EXPECT_LE(grid.delta_t(r, c), peak + 1e-9);
+      EXPECT_GE(grid.delta_t(r, c), -1e-9);  // no cooling below ambient
+    }
+  }
+}
+
+TEST(Solver, MonotoneDecayFromSource) {
+  ThermalGrid grid(small_grid_config());
+  grid.add_power_mw(10, 10, 45.0);
+  ASSERT_TRUE(solve_steady_state(grid).converged);
+  // Along the row through the source, temperature decays monotonically.
+  for (std::size_t c = 10; c + 1 < grid.cols(); ++c) {
+    EXPECT_GE(grid.temperature_k(10, c), grid.temperature_k(10, c + 1));
+  }
+  for (std::size_t c = 10; c > 0; --c) {
+    EXPECT_GE(grid.temperature_k(10, c), grid.temperature_k(10, c - 1));
+  }
+}
+
+TEST(Solver, SymmetricAroundCenteredSource) {
+  ThermalGrid grid(small_grid_config());
+  grid.add_power_mw(10, 10, 30.0);
+  ASSERT_TRUE(solve_steady_state(grid).converged);
+  for (std::size_t d = 1; d <= 10; ++d) {
+    EXPECT_NEAR(grid.temperature_k(10, 10 + d), grid.temperature_k(10, 10 - d),
+                1e-5);
+    EXPECT_NEAR(grid.temperature_k(10 + d, 10), grid.temperature_k(10 - d, 10),
+                1e-5);
+  }
+}
+
+TEST(Solver, LinearInPower) {
+  // The discretized system is linear: doubling power doubles delta-T.
+  ThermalGrid a(small_grid_config());
+  ThermalGrid b(small_grid_config());
+  a.add_power_mw(5, 5, 20.0);
+  b.add_power_mw(5, 5, 40.0);
+  ASSERT_TRUE(solve_steady_state(a).converged);
+  ASSERT_TRUE(solve_steady_state(b).converged);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(b.delta_t(r, c), 2.0 * a.delta_t(r, c), 1e-4);
+    }
+  }
+}
+
+TEST(Solver, SuperpositionOfSources) {
+  ThermalGrid ab(small_grid_config());
+  ab.add_power_mw(4, 4, 25.0);
+  ab.add_power_mw(15, 15, 25.0);
+  ThermalGrid a(small_grid_config());
+  a.add_power_mw(4, 4, 25.0);
+  ThermalGrid b(small_grid_config());
+  b.add_power_mw(15, 15, 25.0);
+  ASSERT_TRUE(solve_steady_state(ab).converged);
+  ASSERT_TRUE(solve_steady_state(a).converged);
+  ASSERT_TRUE(solve_steady_state(b).converged);
+  for (std::size_t r = 0; r < ab.rows(); ++r) {
+    for (std::size_t c = 0; c < ab.cols(); ++c) {
+      EXPECT_NEAR(ab.delta_t(r, c), a.delta_t(r, c) + b.delta_t(r, c), 1e-4);
+    }
+  }
+}
+
+TEST(Solver, DecayLengthControlsSpread) {
+  // Larger sink conductance -> shorter decay length -> tighter hotspot.
+  SolverConfig tight;
+  tight.g_sink_w_per_k = tight.g_lateral_w_per_k;  // L = 1 cell
+  SolverConfig loose;
+  loose.g_sink_w_per_k = tight.g_lateral_w_per_k / 16.0;  // L = 4 cells
+  EXPECT_NEAR(tight.decay_length_cells(), 1.0, 1e-9);
+  EXPECT_NEAR(loose.decay_length_cells(), 4.0, 1e-9);
+
+  ThermalGrid a(small_grid_config());
+  ThermalGrid b(small_grid_config());
+  a.add_power_mw(10, 10, 30.0);
+  b.add_power_mw(10, 10, 30.0);
+  ASSERT_TRUE(solve_steady_state(a, tight).converged);
+  ASSERT_TRUE(solve_steady_state(b, loose).converged);
+  // Normalized neighbor-to-peak ratio is higher for the loose sink.
+  const double ratio_a = a.delta_t(10, 14) / a.delta_t(10, 10);
+  const double ratio_b = b.delta_t(10, 14) / b.delta_t(10, 10);
+  EXPECT_GT(ratio_b, ratio_a);
+}
+
+TEST(Solver, ConfigValidation) {
+  ThermalGrid grid(small_grid_config(4, 4));
+  SolverConfig config;
+  config.sor_omega = 2.5;
+  EXPECT_THROW(solve_steady_state(grid, config), std::invalid_argument);
+  config = SolverConfig{};
+  config.g_lateral_w_per_k = 0.0;
+  EXPECT_THROW(solve_steady_state(grid, config), std::invalid_argument);
+}
+
+TEST(Solver, ReportsIterationsAndResidual) {
+  ThermalGrid grid(small_grid_config(8, 8));
+  grid.add_power_mw(4, 4, 10.0);
+  const SolveResult result = solve_steady_state(grid);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 1u);
+  EXPECT_LT(result.residual_k, 1e-6);
+}
+
+TEST(Solver, HotspotMagnitudeInAttackRange) {
+  // A 45 mW heater overdrive should produce a rise in the tens of Kelvin —
+  // enough to shift a CONV-block MR by >= 1 channel (paper §III.B.2 needs
+  // ~16.6 K per channel).
+  ThermalGrid grid(small_grid_config());
+  grid.add_power_mw(10, 10, 45.0);
+  ASSERT_TRUE(solve_steady_state(grid).converged);
+  EXPECT_GT(grid.delta_t(10, 10), 16.6);
+  EXPECT_LT(grid.delta_t(10, 10), 120.0);
+  // Direct neighbors are dragged along (cluster corruption).
+  EXPECT_GT(grid.delta_t(10, 11), 3.0);
+}
+
+// ---------------------------------------------------------------- floorplan
+
+TEST(Floorplan, NearSquareFactorizations) {
+  EXPECT_EQ(near_square(100), (std::pair<std::size_t, std::size_t>{10, 10}));
+  EXPECT_EQ(near_square(20), (std::pair<std::size_t, std::size_t>{4, 5}));
+  EXPECT_EQ(near_square(60), (std::pair<std::size_t, std::size_t>{6, 10}));
+  EXPECT_EQ(near_square(150), (std::pair<std::size_t, std::size_t>{10, 15}));
+  EXPECT_EQ(near_square(1), (std::pair<std::size_t, std::size_t>{1, 1}));
+  // Primes fall back to a ceil grid that still fits everything.
+  const auto [r, c] = near_square(17);
+  EXPECT_GE(r * c, 17u);
+}
+
+TEST(Floorplan, ConvBlockDimensions) {
+  const BlockFloorplan plan(100, 20);
+  EXPECT_EQ(plan.grid_rows(), 40u);  // 10 unit rows x 4 bank rows
+  EXPECT_EQ(plan.grid_cols(), 50u);  // 10 unit cols x 5 bank cols
+}
+
+TEST(Floorplan, BankCellRoundTrip) {
+  const BlockFloorplan plan(100, 20);
+  for (std::size_t unit : {0u, 7u, 55u, 99u}) {
+    for (std::size_t bank : {0u, 3u, 19u}) {
+      const auto [row, col] = plan.bank_cell(unit, bank);
+      EXPECT_LT(row, plan.grid_rows());
+      EXPECT_LT(col, plan.grid_cols());
+      const auto [u, b] = plan.cell_bank(row, col);
+      EXPECT_EQ(u, unit);
+      EXPECT_EQ(b, bank);
+    }
+  }
+}
+
+TEST(Floorplan, DistinctBanksDistinctCells) {
+  const BlockFloorplan plan(4, 6);
+  std::set<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      cells.insert(plan.bank_cell(u, b));
+    }
+  }
+  EXPECT_EQ(cells.size(), 24u);
+}
+
+TEST(Floorplan, MakeGridMatchesDims) {
+  const BlockFloorplan plan(60, 150);
+  const ThermalGrid grid = plan.make_grid();
+  EXPECT_EQ(grid.rows(), plan.grid_rows());
+  EXPECT_EQ(grid.cols(), plan.grid_cols());
+}
+
+TEST(Floorplan, BoundsChecked) {
+  const BlockFloorplan plan(4, 6);
+  EXPECT_THROW(plan.bank_cell(4, 0), std::invalid_argument);
+  EXPECT_THROW(plan.bank_cell(0, 6), std::invalid_argument);
+  EXPECT_THROW(BlockFloorplan(0, 5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- heatmap
+
+TEST(Heatmap, AsciiRendersEveryCell) {
+  ThermalGrid grid(small_grid_config(5, 7));
+  grid.add_power_mw(2, 3, 30.0);
+  solve_steady_state(grid);
+  const std::string art = render_ascii_heatmap(grid);
+  // 5 rows of 7 glyphs + newlines + legend line.
+  std::size_t newlines = 0;
+  for (char ch : art) {
+    if (ch == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 6u);
+  EXPECT_NE(art.find('@'), std::string::npos);  // peak glyph present
+  EXPECT_NE(art.find("scale:"), std::string::npos);
+}
+
+TEST(Heatmap, CsvRoundTrip) {
+  const std::string path = "/tmp/safelight_heatmap_test.csv";
+  ThermalGrid grid(small_grid_config(4, 4));
+  grid.add_power_mw(1, 1, 10.0);
+  solve_steady_state(grid);
+  write_heatmap_csv(grid, path);
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 4u);
+  ASSERT_EQ(table.rows.size(), 4u);
+  EXPECT_NEAR(std::stod(table.rows[1][1]), grid.temperature_k(1, 1), 1e-3);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace safelight::thermal
