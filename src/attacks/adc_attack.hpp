@@ -27,8 +27,11 @@ enum class AdcPayload {
   kMsbFlip,         // most-significant bit inverted
 };
 
+/// Human-readable payload name ("stuck-full-scale" / "sign-flip" / ...).
 std::string to_string(AdcPayload payload);
 
+/// Attack strength: which fraction of ADC rows is compromised, with what
+/// payload, sampled deterministically from `seed`.
 struct AdcAttackConfig {
   double fraction = 0.0;   // fraction of ADC rows compromised
   AdcPayload payload = AdcPayload::kMsbFlip;
@@ -49,6 +52,7 @@ struct AdcAttackPlan {
   }
 };
 
+/// Samples the victim ADC rows per block; deterministic in attack.seed.
 AdcAttackPlan plan_adc_attack(const accel::AcceleratorConfig& config,
                               const AdcAttackConfig& attack);
 

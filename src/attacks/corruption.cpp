@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 #include "photonics/constants.hpp"
 
 namespace safelight::attack {
@@ -170,6 +171,25 @@ CorruptionStats apply_attack(accel::WeightStationaryMapping& mapping,
     case AttackVector::kHotspot: break;
   }
   return apply_hotspot(mapping, scenario, config);
+}
+
+std::string config_fingerprint(const CorruptionConfig& config) {
+  Fingerprint fp;
+  fp.mix_double(config.actuation.park_spacing_fraction)
+      .mix_double(config.actuation.trigger.trigger_probability)
+      .mix_double(config.hotspot.heater_overdrive_mw)
+      .mix_double(config.hotspot.tuning_compensation_k)
+      .mix_double(config.hotspot.trigger.trigger_probability)
+      .mix_double(config.hotspot.solver.g_lateral_w_per_k)
+      .mix_double(config.hotspot.solver.g_sink_w_per_k)
+      .mix_double(config.hotspot.solver.sor_omega)
+      .mix_u64(config.hotspot.solver.max_iterations)
+      .mix_double(config.hotspot.solver.tolerance_k * 1e6)  // sub-micro-K
+      .mix_u64(config.quarantine.enabled ? 1 : 0)
+      .mix_double(config.quarantine.detect_threshold_k)
+      .mix_double(config.quarantine.spare_bank_fraction)
+      .mix_double(config.shift_significance_fwhm);
+  return fp.hex8();
 }
 
 }  // namespace safelight::attack

@@ -59,4 +59,9 @@ CorruptionStats apply_attack(accel::WeightStationaryMapping& mapping,
                              const AttackScenario& scenario,
                              const CorruptionConfig& config = {});
 
+/// Short fingerprint over every field of `config` (including the thermal
+/// solver knobs). Result caches key their files on it so sweeps with
+/// ablated physics never share entries with the default configuration.
+std::string config_fingerprint(const CorruptionConfig& config);
+
 }  // namespace safelight::attack

@@ -12,12 +12,18 @@
 
 namespace safelight::attack {
 
+/// Physical attack mechanism (paper §III.B): EO actuation-circuit parking
+/// of individual MRs vs TO heater-overdrive thermal hotspots.
 enum class AttackVector { kActuation, kHotspot };
+
+/// Which accelerator block the trojan population is implanted in.
 enum class AttackTarget { kConvBlock, kFcBlock, kBothBlocks };
 
+/// Human-readable names ("actuation"/"hotspot", "CONV"/"FC"/"CONV+FC").
 std::string to_string(AttackVector vector);
 std::string to_string(AttackTarget target);
 
+/// One attack case of the paper's §IV grid.
 struct AttackScenario {
   AttackVector vector = AttackVector::kActuation;
   AttackTarget target = AttackTarget::kBothBlocks;

@@ -23,6 +23,7 @@ enum class PayloadKind {
   kHeaterOverdrive, // TO heater driven far beyond its control setpoint
 };
 
+/// Human-readable payload name ("actuation-park" / "heater-overdrive").
 std::string to_string(PayloadKind kind);
 
 /// Trigger behaviour of an implanted trojan population.

@@ -1,28 +1,18 @@
 #include "core/evaluation.hpp"
 
-#include <cstdio>
 #include <filesystem>
 
-#include "common/csv.hpp"
-#include "common/error.hpp"
+#include "common/fingerprint.hpp"
 #include "nn/serialize.hpp"
 
 namespace safelight::core {
 
 std::string weights_checksum(nn::Sequential& model) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  Fingerprint fp;
   for (nn::Param* p : model.params()) {
-    const auto* bytes = reinterpret_cast<const unsigned char*>(p->value.data());
-    const std::size_t count = p->value.numel() * sizeof(float);
-    for (std::size_t i = 0; i < count; ++i) {
-      hash ^= bytes[i];
-      hash *= 0x100000001b3ULL;
-    }
+    fp.mix_bytes(p->value.data(), p->value.numel() * sizeof(float));
   }
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return buf;
+  return fp.hex16();
 }
 
 namespace {
@@ -40,40 +30,28 @@ nn::Sequential& conditioned(const accel::OnnExecutor& executor,
 AttackEvaluator::AttackEvaluator(const ExperimentSetup& setup,
                                  nn::Sequential& model,
                                  std::string variant_name,
-                                 std::string cache_dir)
+                                 std::string cache_dir,
+                                 attack::CorruptionConfig corruption)
     : setup_(setup), model_(model), variant_name_(std::move(variant_name)),
       executor_(setup.accelerator),
       mapping_(conditioned(executor_, model), setup.accelerator),
       clean_snapshot_(nn::snapshot_state(model)),
-      eval_data_(make_test_data(setup).take(setup.eval_count)) {
+      eval_data_(make_test_data(setup).take(setup.eval_count)),
+      corruption_(std::move(corruption)) {
+  std::string cache_path;
   if (!cache_dir.empty()) {
     std::filesystem::create_directories(cache_dir);
-    cache_path_ = cache_dir + "/" + setup_.tag() + "_" + variant_name_ +
-                  "_" + weights_checksum(model_) + ".csv";
-    load_cache();
+    // The corruption fingerprint is part of the file name so evaluators
+    // with ablated physics never read each other's entries.
+    cache_path = cache_dir + "/" + setup_.tag() + "_" + variant_name_ + "_" +
+                 weights_checksum(model_) + "_" +
+                 attack::config_fingerprint(corruption_) + ".csv";
   }
+  cache_ = std::make_unique<ResultStore>(cache_path);
 }
 
 std::string AttackEvaluator::cache_key(const std::string& scenario_id) const {
   return scenario_id + "/n" + std::to_string(eval_data_.size());
-}
-
-void AttackEvaluator::load_cache() {
-  const CsvTable table = read_csv(cache_path_);
-  for (const auto& row : table.rows) {
-    SAFELIGHT_ASSERT(row.size() == 2, "evaluation cache: bad row");
-    cache_[row[0]] = std::stod(row[1]);
-  }
-}
-
-void AttackEvaluator::append_cache(const std::string& scenario_id,
-                                   double accuracy) {
-  if (cache_path_.empty()) return;
-  const bool fresh = !std::filesystem::exists(cache_path_);
-  std::ofstream out(cache_path_, std::ios::app);
-  if (!out) return;  // cache is an optimization; never fail the experiment
-  if (fresh) out << "key,accuracy\n";
-  out << scenario_id << ',' << fmt_double(accuracy, 6) << '\n';
 }
 
 void AttackEvaluator::restore_clean() {
@@ -82,26 +60,24 @@ void AttackEvaluator::restore_clean() {
 
 double AttackEvaluator::baseline_accuracy() {
   const std::string key = cache_key("baseline");
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (const auto cached = cache_->lookup(key)) return *cached;
   restore_clean();
   const double accuracy = executor_.evaluate(model_, eval_data_);
-  cache_[key] = accuracy;
-  append_cache(key, accuracy);
+  cache_->put(key, accuracy);
   return accuracy;
 }
 
 double AttackEvaluator::evaluate_scenario(
     const attack::AttackScenario& scenario) {
   const std::string key = cache_key(scenario.id());
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  if (const auto cached = cache_->lookup(key)) return *cached;
 
   restore_clean();
   last_stats_ = attack::apply_attack(mapping_, scenario, corruption_);
   const double accuracy = executor_.evaluate(model_, eval_data_);
   restore_clean();
 
-  cache_[key] = accuracy;
-  append_cache(key, accuracy);
+  cache_->put(key, accuracy);
   return accuracy;
 }
 

@@ -12,12 +12,13 @@
 // entries automatically.
 #pragma once
 
+#include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "accel/executor.hpp"
 #include "attacks/corruption.hpp"
 #include "core/experiment_scale.hpp"
+#include "core/result_store.hpp"
 
 namespace safelight::core {
 
@@ -25,9 +26,13 @@ class AttackEvaluator {
  public:
   /// `cache_dir` empty disables persistence (tests). The model reference
   /// must outlive the evaluator; its weights are managed by the evaluator
-  /// from here on (conditioned, attacked, restored).
+  /// from here on (conditioned, attacked, restored). `corruption` sets the
+  /// attack physics shared by every scenario this evaluator runs; it is
+  /// fingerprinted into the cache file name, so evaluators with different
+  /// physics never share cached accuracies.
   AttackEvaluator(const ExperimentSetup& setup, nn::Sequential& model,
-                  std::string variant_name, std::string cache_dir);
+                  std::string variant_name, std::string cache_dir,
+                  attack::CorruptionConfig corruption = {});
 
   /// Accuracy of the unattacked (conditioned) model on the eval subset.
   double baseline_accuracy();
@@ -45,20 +50,17 @@ class AttackEvaluator {
 
  private:
   std::string cache_key(const std::string& scenario_id) const;
-  void load_cache();
-  void append_cache(const std::string& scenario_id, double accuracy);
 
   ExperimentSetup setup_;
   nn::Sequential& model_;
   std::string variant_name_;
-  std::string cache_path_;  // empty = no persistence
   accel::OnnExecutor executor_;
   accel::WeightStationaryMapping mapping_;
   std::vector<nn::Tensor> clean_snapshot_;
   nn::Dataset eval_data_;
   attack::CorruptionConfig corruption_;
   attack::CorruptionStats last_stats_{};
-  std::unordered_map<std::string, double> cache_;
+  std::unique_ptr<ResultStore> cache_;  // in-memory when cache_dir was empty
 };
 
 /// FNV-1a checksum over all parameter bytes (cache invalidation key).

@@ -24,6 +24,8 @@
 
 namespace safelight::core {
 
+/// Everything one experiment needs: the model recipe, its datasets, the
+/// base training configuration and the (pressure-matched) accelerator.
 struct ExperimentSetup {
   nn::ModelId model = nn::ModelId::kCnn1;
   Scale scale = Scale::kDefault;

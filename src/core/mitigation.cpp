@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "core/pipeline.hpp"
 
 namespace safelight::core {
 
@@ -39,29 +40,26 @@ MitigationReport run_mitigation(const ExperimentSetup& setup, ModelZoo& zoo,
   MitigationReport report;
   report.model = setup.model;
 
+  PipelineOptions pipeline_options;
+  pipeline_options.cache_dir = options.cache_dir;
+  pipeline_options.verbose = options.verbose;
+  ScenarioPipeline pipeline(setup, zoo, pipeline_options);
+
   for (const VariantSpec& variant : paper_variants(options.l2_strength)) {
     if (options.verbose) {
       std::printf("[mitigation] %s / %s\n", setup.tag().c_str(),
                   variant.name.c_str());
       std::fflush(stdout);
     }
-    auto model = zoo.get_or_train(setup, variant, options.verbose);
-    AttackEvaluator evaluator(setup, *model, variant.name, options.cache_dir);
+    const SweepResult sweep = pipeline.run(variant, scenarios);
 
     VariantOutcome outcome;
     outcome.variant = variant;
-    outcome.baseline_accuracy = evaluator.baseline_accuracy();
+    outcome.baseline_accuracy = sweep.baseline_accuracy;
     if (variant.is_original()) {
       report.original_baseline = outcome.baseline_accuracy;
     }
-
-    std::vector<double> accuracies;
-    accuracies.reserve(scenarios.size());
-    for (const auto& row :
-         evaluate_grid(evaluator, scenarios, /*verbose=*/false)) {
-      accuracies.push_back(row.accuracy);
-    }
-    outcome.under_attack = box_stats(std::move(accuracies));
+    outcome.under_attack = sweep.under_attack();
     report.outcomes.push_back(std::move(outcome));
   }
   return report;

@@ -11,12 +11,15 @@
 
 namespace safelight::core {
 
+/// One mitigation variant's clean accuracy and accuracy distribution under
+/// the full attack grid (one box of Fig. 8).
 struct VariantOutcome {
   VariantSpec variant;
   double baseline_accuracy = 0.0;  // unattacked accuracy of this variant
   BoxStats under_attack;           // accuracy across all attack scenarios
 };
 
+/// Per-model mitigation analysis: one VariantOutcome per paper variant.
 struct MitigationReport {
   nn::ModelId model;
   double original_baseline = 0.0;  // unattacked accuracy of Original
@@ -26,9 +29,11 @@ struct MitigationReport {
   /// attack, ties broken by the worst case (min), then by name.
   const VariantOutcome& best_robust() const;
 
+  /// Outcome of a variant by name; throws when the variant was not swept.
   const VariantOutcome& outcome(const std::string& variant_name) const;
 };
 
+/// Knobs of run_mitigation.
 struct MitigationOptions {
   std::size_t seed_count = 3;  // placements per grid cell (Fig. 8 sweep)
   std::uint64_t base_seed = 1000;
@@ -37,6 +42,9 @@ struct MitigationOptions {
   bool verbose = false;
 };
 
+/// Sweeps every paper variant of `setup`'s model across the full attack
+/// grid (training missing variants through `zoo`) and aggregates each
+/// variant's accuracy distribution.
 MitigationReport run_mitigation(const ExperimentSetup& setup, ModelZoo& zoo,
                                 const MitigationOptions& options);
 

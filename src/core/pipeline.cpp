@@ -1,0 +1,162 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/result_store.hpp"
+
+namespace safelight::core {
+
+namespace {
+
+/// Store key of a scenario: its stable id plus the evaluation subset size
+/// (a larger eval_count is a different measurement).
+std::string scenario_key(const attack::AttackScenario& scenario,
+                         std::size_t eval_count) {
+  return scenario.id() + "/n" + std::to_string(eval_count);
+}
+
+}  // namespace
+
+std::vector<double> SweepResult::accuracies() const {
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) values.push_back(row.accuracy);
+  return values;
+}
+
+BoxStats SweepResult::under_attack() const { return box_stats(accuracies()); }
+
+ScenarioPipeline::ScenarioPipeline(const ExperimentSetup& setup, ModelZoo& zoo,
+                                   PipelineOptions options)
+    : setup_(setup), zoo_(zoo), options_(std::move(options)) {}
+
+SweepResult ScenarioPipeline::run(
+    const VariantSpec& variant,
+    const std::vector<attack::AttackScenario>& grid) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Train (or load) on the calling thread so workers only ever load the
+  // finished zoo entry — never race on training it.
+  auto model = zoo_.get_or_train(setup_, variant, options_.verbose);
+  const std::string checksum = weights_checksum(*model);
+
+  std::string csv_path, jsonl_path;
+  if (!options_.cache_dir.empty()) {
+    std::filesystem::create_directories(options_.cache_dir);
+    const std::string base = options_.cache_dir + "/" + setup_.tag() + "_" +
+                             variant.name + "_" + checksum + "_" +
+                             attack::config_fingerprint(options_.corruption);
+    csv_path = base + ".sweep.csv";
+    if (options_.stream_jsonl) jsonl_path = base + ".sweep.jsonl";
+  }
+  ResultStore store(csv_path, jsonl_path);
+
+  SweepResult result;
+  result.variant = variant.name;
+
+  // Baseline dedup: one clean evaluation serves every scenario of the sweep
+  // (and, through the store, every future sweep of this variant).
+  const std::string baseline_key =
+      "baseline/n" + std::to_string(setup_.eval_count);
+  if (const auto cached = store.lookup(baseline_key)) {
+    result.baseline_accuracy = *cached;
+    result.baseline_from_cache = true;
+  } else {
+    AttackEvaluator evaluator(setup_, *model, variant.name, "",
+                              options_.corruption);
+    result.baseline_accuracy = evaluator.baseline_accuracy();
+    store.put(baseline_key, result.baseline_accuracy);
+  }
+
+  // Uncached scenarios, deduplicated: a grid may repeat an id, and a
+  // previous interrupted run may have persisted a prefix.
+  std::vector<attack::AttackScenario> pending;
+  std::vector<std::string> pending_keys;
+  std::unordered_set<std::string> fresh_keys;
+  for (const auto& scenario : grid) {
+    scenario.validate();
+    const std::string key = scenario_key(scenario, setup_.eval_count);
+    if (!store.contains(key) && fresh_keys.insert(key).second) {
+      pending.push_back(scenario);
+      pending_keys.push_back(key);
+    }
+  }
+  result.evaluated = pending.size();
+
+  if (!pending.empty()) {
+    std::size_t workers = worker_count();
+    if (options_.max_workers > 0) {
+      workers = std::min(workers, options_.max_workers);
+    }
+    const auto evaluate_range = [&](AttackEvaluator& evaluator,
+                                    std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double accuracy = evaluator.evaluate_scenario(pending[i]);
+        store.put(pending_keys[i], accuracy);
+        if (options_.verbose) {
+          std::printf("  [pipeline] %-36s acc %.4f\n",
+                      pending[i].id().c_str(), accuracy);
+          std::fflush(stdout);
+        }
+      }
+    };
+    if (pending.size() < workers * 2) {
+      // Too few scenarios to keep a fan-out busy: evaluate inline on the
+      // calling thread, where the per-image inner loops still parallelize
+      // (inside a fan-out worker they would degrade to serial). A fresh
+      // model copy keeps this path identical to the worker path.
+      auto inline_model = zoo_.get_or_train(setup_, variant, false);
+      AttackEvaluator evaluator(setup_, *inline_model, variant.name, "",
+                                options_.corruption);
+      evaluate_range(evaluator, 0, pending.size());
+    } else {
+      // min_grain also caps the worker count: parallel_for_chunks spawns
+      // at most pending/grain workers.
+      const std::size_t grain = (pending.size() + workers - 1) / workers;
+      parallel_for_chunks(
+          0, pending.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            // Scenario evaluation corrupts and restores model weights, so
+            // every worker needs a private copy (cheap: a zoo cache load).
+            auto worker_model = zoo_.get_or_train(setup_, variant, false);
+            AttackEvaluator evaluator(setup_, *worker_model, variant.name,
+                                      "", options_.corruption);
+            evaluate_range(evaluator, lo, hi);
+          },
+          grain);
+    }
+  }
+
+  // Assemble in grid order: execution order never leaks into the result.
+  result.rows.reserve(grid.size());
+  for (const auto& scenario : grid) {
+    const std::string key = scenario_key(scenario, setup_.eval_count);
+    const auto value = store.lookup(key);
+    SAFELIGHT_ASSERT(value.has_value(), "pipeline: result missing after sweep");
+    ScenarioOutcome outcome;
+    outcome.scenario = scenario;
+    outcome.accuracy = *value;
+    outcome.from_cache = fresh_keys.count(key) == 0;
+    if (outcome.from_cache) ++result.cache_hits;
+    result.rows.push_back(outcome);
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+SweepResult ScenarioPipeline::run_paper_grid(const VariantSpec& variant,
+                                             std::size_t seed_count,
+                                             std::uint64_t base_seed) {
+  return run(variant, attack::paper_scenario_grid(seed_count, base_seed));
+}
+
+}  // namespace safelight::core

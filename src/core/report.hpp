@@ -11,11 +11,14 @@ class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
 
+  /// Appends one row; throws std::invalid_argument when the cell count
+  /// does not match the header.
   void add_row(std::vector<std::string> row);
 
   /// Renders with a header underline; every row padded per column.
   std::string render() const;
 
+  /// Number of data rows added so far (header excluded).
   std::size_t row_count() const { return rows_.size(); }
 
  private:

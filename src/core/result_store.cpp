@@ -1,0 +1,100 @@
+#include "core/result_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace safelight::core {
+
+namespace {
+
+/// Full-precision round-trip format: a resumed run must report exactly the
+/// accuracies the original run computed.
+std::string format_value(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string csv_path, std::string jsonl_path)
+    : csv_path_(std::move(csv_path)), jsonl_path_(std::move(jsonl_path)) {
+  if (csv_path_.empty()) return;
+  // Hand-rolled tolerant parse: an interrupted run may leave a torn final
+  // row, which must not prevent the resume it exists to enable. Every
+  // complete row ends with '\n' (put() writes row + newline + flush), so an
+  // unterminated tail is a tear: it is dropped, the file truncated back to
+  // the last complete row (a later append must not merge into the tear),
+  // and its scenario simply re-evaluates. Other malformed rows are skipped.
+  std::ifstream in(csv_path_, std::ios::binary);
+  if (!in) return;
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  in.close();
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) {
+      std::error_code ec;
+      std::filesystem::resize_file(csv_path_, pos, ec);
+      break;
+    }
+    std::string line = content.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line == "key,accuracy") continue;
+    const std::size_t comma = line.rfind(',');
+    if (comma == std::string::npos || comma == 0) continue;
+    const char* value_begin = line.c_str() + comma + 1;
+    char* value_end = nullptr;
+    const double value = std::strtod(value_begin, &value_end);
+    if (value_end == value_begin || *value_end != '\0') continue;
+    entries_[line.substr(0, comma)] = value;
+  }
+}
+
+std::optional<double> ResultStore::lookup(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = entries_.find(key); it != entries_.end()) return it->second;
+  return std::nullopt;
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) > 0;
+}
+
+std::size_t ResultStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ResultStore::put(const std::string& key, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = value;
+  append_to_disk(key, value);
+}
+
+void ResultStore::append_to_disk(const std::string& key, double value) {
+  if (!csv_path_.empty()) {
+    const bool fresh = !std::filesystem::exists(csv_path_);
+    std::ofstream out(csv_path_, std::ios::app);
+    if (out) {
+      if (fresh) out << "key,accuracy\n";
+      out << key << ',' << format_value(value) << '\n';
+      out.flush();
+    }
+  }
+  if (!jsonl_path_.empty()) {
+    std::ofstream out(jsonl_path_, std::ios::app);
+    if (out) {
+      out << "{\"key\":\"" << key << "\",\"accuracy\":" << format_value(value)
+          << "}\n";
+      out.flush();
+    }
+  }
+}
+
+}  // namespace safelight::core

@@ -1,0 +1,59 @@
+// Thread-safe, incrementally persisted key -> accuracy store.
+//
+// The scenario pipeline records one entry per evaluated scenario, keyed by
+// AttackScenario::id() (plus the evaluation subset size), mirroring the
+// ModelZoo's on-disk cache discipline: entries are appended to a CSV file
+// and flushed immediately, so an interrupted sweep resumes from whatever
+// made it to disk instead of restarting. An optional JSONL mirror streams
+// the same records for external monitoring/plotting tools.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace safelight::core {
+
+/// Append-only result cache shared by the pipeline's worker threads.
+///
+/// All members are safe to call concurrently. Persistence is optional:
+/// an empty `csv_path` keeps the store purely in memory (tests, ablations
+/// whose corruption config changes per run).
+class ResultStore {
+ public:
+  /// Opens the store. When `csv_path` names an existing file written by a
+  /// previous (possibly interrupted) run, its rows are loaded so lookups
+  /// hit instead of re-evaluating; malformed rows (e.g. a torn final line
+  /// from a mid-write kill) are skipped, not fatal. `jsonl_path` non-empty
+  /// additionally appends one JSON object per new entry to that file.
+  explicit ResultStore(std::string csv_path, std::string jsonl_path = "");
+
+  /// Value stored under `key`, or nullopt when missing.
+  std::optional<double> lookup(const std::string& key) const;
+
+  /// True when `key` has a stored value.
+  bool contains(const std::string& key) const;
+
+  /// Inserts (or overwrites) `key` and appends the entry to the backing
+  /// CSV/JSONL files, flushing so the entry survives an interrupt.
+  /// Disk write failures are swallowed: the store is an optimization and
+  /// must never fail an experiment.
+  void put(const std::string& key, double value);
+
+  /// Number of entries currently held (loaded + inserted).
+  std::size_t size() const;
+
+  const std::string& csv_path() const { return csv_path_; }
+  const std::string& jsonl_path() const { return jsonl_path_; }
+
+ private:
+  void append_to_disk(const std::string& key, double value);
+
+  mutable std::mutex mutex_;
+  std::string csv_path_;    // empty = in-memory only
+  std::string jsonl_path_;  // empty = no JSON mirror
+  std::unordered_map<std::string, double> entries_;
+};
+
+}  // namespace safelight::core

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/pipeline.hpp"
 
 namespace safelight::core {
 
@@ -34,32 +35,39 @@ RobustComparisonReport run_robust_compare(
             .variant.name;
   }
 
-  auto original =
-      zoo.get_or_train(setup, variant_by_name("Original"), options.verbose);
-  auto robust = zoo.get_or_train(
-      setup, variant_by_name(robust_name, options.l2_strength),
-      options.verbose);
+  // One combined grid (2 vectors x 3 fractions x seeds on CONV+FC), swept
+  // once per model through the pipeline; cells are sliced out afterwards.
+  const auto grid = attack::scenario_grid(
+      {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
+      {attack::AttackTarget::kBothBlocks}, {0.01, 0.05, 0.10},
+      options.seed_count, options.base_seed);
 
-  AttackEvaluator original_eval(setup, *original, "Original",
-                                options.cache_dir);
-  AttackEvaluator robust_eval(setup, *robust, robust_name, options.cache_dir);
+  PipelineOptions pipeline_options;
+  pipeline_options.cache_dir = options.cache_dir;
+  pipeline_options.verbose = options.verbose;
+  ScenarioPipeline pipeline(setup, zoo, pipeline_options);
+  const SweepResult original_sweep =
+      pipeline.run(variant_by_name("Original"), grid);
+  const SweepResult robust_sweep = pipeline.run(
+      variant_by_name(robust_name, options.l2_strength), grid);
 
   RobustComparisonReport report;
   report.model = setup.model;
   report.robust_variant_name = robust_name;
-  report.original_baseline = original_eval.baseline_accuracy();
-  report.robust_baseline = robust_eval.baseline_accuracy();
+  report.original_baseline = original_sweep.baseline_accuracy;
+  report.robust_baseline = robust_sweep.baseline_accuracy;
 
   for (attack::AttackVector vector :
        {attack::AttackVector::kActuation, attack::AttackVector::kHotspot}) {
     for (double fraction : {0.01, 0.05, 0.10}) {
-      const auto scenarios = attack::scenario_grid(
-          {vector}, {attack::AttackTarget::kBothBlocks}, {fraction},
-          options.seed_count, options.base_seed);
       std::vector<double> original_acc, robust_acc;
-      for (const auto& scenario : scenarios) {
-        original_acc.push_back(original_eval.evaluate_scenario(scenario));
-        robust_acc.push_back(robust_eval.evaluate_scenario(scenario));
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (grid[i].vector != vector ||
+            std::abs(grid[i].fraction - fraction) >= 1e-12) {
+          continue;
+        }
+        original_acc.push_back(original_sweep.rows[i].accuracy);
+        robust_acc.push_back(robust_sweep.rows[i].accuracy);
       }
       RobustComparisonCell cell;
       cell.vector = vector;

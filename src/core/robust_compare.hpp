@@ -11,6 +11,7 @@
 
 namespace safelight::core {
 
+/// One (attack vector, fraction) cell of the Fig. 9 comparison.
 struct RobustComparisonCell {
   attack::AttackVector vector;
   double fraction = 0.0;
@@ -23,6 +24,7 @@ struct RobustComparisonCell {
   double recovered() const { return robust.min - original.min; }
 };
 
+/// Per-model robust-vs-original comparison (the data behind Fig. 9).
 struct RobustComparisonReport {
   nn::ModelId model;
   std::string robust_variant_name;
@@ -30,10 +32,12 @@ struct RobustComparisonReport {
   double robust_baseline = 0.0;
   std::vector<RobustComparisonCell> cells;  // 2 vectors x 3 fractions
 
+  /// Cell lookup; throws when the (vector, fraction) pair was not swept.
   const RobustComparisonCell& cell(attack::AttackVector vector,
                                    double fraction) const;
 };
 
+/// Knobs of run_robust_compare.
 struct RobustCompareOptions {
   std::size_t seed_count = 5;
   std::uint64_t base_seed = 1000;
@@ -44,6 +48,9 @@ struct RobustCompareOptions {
   bool verbose = false;
 };
 
+/// Selects the most robust variant (via run_mitigation unless pinned in
+/// `options`) and compares it against Original across both attack vectors
+/// at 1/5/10 % of the total MR population.
 RobustComparisonReport run_robust_compare(const ExperimentSetup& setup,
                                           ModelZoo& zoo,
                                           const RobustCompareOptions& options);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "core/pipeline.hpp"
 
 namespace safelight::core {
 
@@ -58,17 +59,20 @@ SusceptibilityReport run_susceptibility(
     const ExperimentSetup& setup, ModelZoo& zoo,
     const SusceptibilityOptions& options) {
   require(options.seed_count > 0, "run_susceptibility: need >= 1 seed");
-  auto model =
-      zoo.get_or_train(setup, variant_by_name("Original"), options.verbose);
-  AttackEvaluator evaluator(setup, *model, "Original", options.cache_dir);
+  PipelineOptions pipeline_options;
+  pipeline_options.cache_dir = options.cache_dir;
+  pipeline_options.verbose = options.verbose;
+  ScenarioPipeline pipeline(setup, zoo, pipeline_options);
+  const SweepResult sweep = pipeline.run_paper_grid(
+      variant_by_name("Original"), options.seed_count, options.base_seed);
 
   SusceptibilityReport report;
   report.model = setup.model;
-  report.baseline_accuracy = evaluator.baseline_accuracy();
-
-  const auto scenarios =
-      attack::paper_scenario_grid(options.seed_count, options.base_seed);
-  report.rows = evaluate_grid(evaluator, scenarios, options.verbose);
+  report.baseline_accuracy = sweep.baseline_accuracy;
+  report.rows.reserve(sweep.rows.size());
+  for (const auto& outcome : sweep.rows) {
+    report.rows.push_back({outcome.scenario, outcome.accuracy});
+  }
 
   // Aggregate into the 18 groups (2 vectors x 3 targets x 3 fractions).
   for (attack::AttackVector vector :

@@ -15,11 +15,13 @@
 
 namespace safelight::core {
 
+/// One evaluated scenario: the attack descriptor and the accuracy it left.
 struct SusceptibilityRow {
   attack::AttackScenario scenario;
   double accuracy = 0.0;
 };
 
+/// Aggregate over one (vector, target, fraction) grid cell.
 struct SusceptibilityGroup {
   attack::AttackVector vector;
   attack::AttackTarget target;
@@ -27,6 +29,8 @@ struct SusceptibilityGroup {
   BoxStats accuracy;  // across placement seeds
 };
 
+/// Full susceptibility analysis of one model: raw rows plus the 18
+/// aggregated groups behind Fig. 7.
 struct SusceptibilityReport {
   nn::ModelId model;
   double baseline_accuracy = 0.0;
@@ -43,6 +47,8 @@ struct SusceptibilityReport {
                                    double fraction) const;
 };
 
+/// Knobs of run_susceptibility. Placement seeds are base_seed ..
+/// base_seed + seed_count - 1 (the paper uses 10 placements per cell).
 struct SusceptibilityOptions {
   std::size_t seed_count = 10;
   std::uint64_t base_seed = 1000;

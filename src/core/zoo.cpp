@@ -6,6 +6,7 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 #include "nn/serialize.hpp"
 
 namespace safelight::core {
@@ -25,35 +26,24 @@ namespace {
 std::string config_fingerprint(const ExperimentSetup& setup,
                                const VariantSpec& variant) {
   const nn::TrainConfig train = apply_variant(setup.base_train, variant);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ULL;
-    h *= 0x100000001b3ULL;
-  };
-  auto mix_float = [&mix](float f) {
-    mix(static_cast<std::uint64_t>(std::llround(static_cast<double>(f) *
-                                                1e6)));
-  };
-  mix(setup.model_config.image_size);
-  mix(setup.model_config.width);
-  mix(setup.model_config.fc_dim);
-  mix_float(setup.model_config.dropout);
-  mix(setup.model_config.seed);
-  mix(setup.train_data.count);
-  mix(setup.train_data.seed);
-  mix_float(setup.train_data.noise);
-  mix(train.epochs);
-  mix(train.batch_size);
-  mix_float(train.lr);
-  mix_float(train.momentum);
-  mix_float(train.weight_decay);
-  mix_float(train.noise.sigma);
-  mix(static_cast<std::uint64_t>(train.noise.mode));
-  mix(train.seed);
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%08llx",
-                static_cast<unsigned long long>(h & 0xffffffffULL));
-  return buf;
+  Fingerprint fp;
+  fp.mix_u64(setup.model_config.image_size)
+      .mix_u64(setup.model_config.width)
+      .mix_u64(setup.model_config.fc_dim)
+      .mix_double(setup.model_config.dropout)
+      .mix_u64(setup.model_config.seed)
+      .mix_u64(setup.train_data.count)
+      .mix_u64(setup.train_data.seed)
+      .mix_double(setup.train_data.noise)
+      .mix_u64(train.epochs)
+      .mix_u64(train.batch_size)
+      .mix_double(train.lr)
+      .mix_double(train.momentum)
+      .mix_double(train.weight_decay)
+      .mix_double(train.noise.sigma)
+      .mix_u64(static_cast<std::uint64_t>(train.noise.mode))
+      .mix_u64(train.seed);
+  return fp.hex8();
 }
 
 }  // namespace

@@ -1,0 +1,272 @@
+// Tests for the scenario pipeline and its result store: fan-out determinism
+// (parallel == serial == repeated run), resume-after-interrupt through the
+// persistent store, and clean-baseline deduplication.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/pipeline.hpp"
+#include "core/result_store.hpp"
+#include "core/susceptibility.hpp"
+
+namespace safelight::core {
+namespace {
+
+/// Unique temp directory per test to keep cache state isolated.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_("/tmp/safelight_test_" + name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ExperimentSetup tiny_setup() {
+  return experiment_setup(nn::ModelId::kCnn1, Scale::kTiny);
+}
+
+std::vector<attack::AttackScenario> small_grid(std::size_t seeds = 2) {
+  return attack::scenario_grid(
+      {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
+      {attack::AttackTarget::kBothBlocks}, {0.05, 0.10}, seeds, 100);
+}
+
+// ------------------------------------------------------------ result store
+
+TEST(ResultStore, InMemoryPutLookup) {
+  ResultStore store("");
+  EXPECT_FALSE(store.lookup("a").has_value());
+  store.put("a", 0.5);
+  store.put("b", 0.25);
+  ASSERT_TRUE(store.lookup("a").has_value());
+  EXPECT_DOUBLE_EQ(*store.lookup("a"), 0.5);
+  EXPECT_TRUE(store.contains("b"));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ResultStore, PersistsAndResumes) {
+  TempDir dir("result_store");
+  const std::string path = dir.path() + "/store.csv";
+  {
+    ResultStore store(path);
+    store.put("x/1", 0.75);
+    store.put("x/2", 0.5);
+  }
+  // A new instance (fresh process in real life) resumes from disk.
+  ResultStore resumed(path);
+  EXPECT_EQ(resumed.size(), 2u);
+  ASSERT_TRUE(resumed.lookup("x/1").has_value());
+  EXPECT_NEAR(*resumed.lookup("x/1"), 0.75, 1e-9);
+}
+
+TEST(ResultStore, ToleratesTornTrailingRow) {
+  TempDir dir("result_store_torn");
+  const std::string path = dir.path() + "/store.csv";
+  {
+    ResultStore store(path);
+    store.put("good/1", 0.5);
+    store.put("good/2", 0.25);
+  }
+  // Simulate a mid-write kill: append a torn, value-less final line.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "torn/3,0.1";  // no newline; then truncate mid-value
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 2);
+  ResultStore resumed(path);
+  EXPECT_EQ(resumed.size(), 2u);  // torn row skipped, good rows intact
+  EXPECT_TRUE(resumed.contains("good/1"));
+  EXPECT_FALSE(resumed.contains("torn/3"));
+
+  // Full-precision round trip: a repeating-decimal accuracy (k/300) must
+  // come back bit-identical after resume.
+  const double awkward = 197.0 / 300.0;
+  {
+    ResultStore store(path);
+    store.put("awkward", awkward);
+  }
+  ResultStore reloaded(path);
+  ASSERT_TRUE(reloaded.lookup("awkward").has_value());
+  EXPECT_DOUBLE_EQ(*reloaded.lookup("awkward"), awkward);
+}
+
+TEST(ResultStore, StreamsJsonlMirror) {
+  TempDir dir("result_store_jsonl");
+  const std::string csv = dir.path() + "/store.csv";
+  const std::string jsonl = dir.path() + "/store.jsonl";
+  ResultStore store(csv, jsonl);
+  store.put("k", 0.125);
+  std::ifstream in(jsonl);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"key\":\"k\""), std::string::npos);
+  EXPECT_NE(line.find("0.125"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+TEST(Pipeline, DeterministicAcrossRunsAndMatchesSerial) {
+  TempDir zoo_dir("pipeline_determinism");
+  const ExperimentSetup setup = tiny_setup();
+  ModelZoo zoo(zoo_dir.path());
+  const auto grid = small_grid();
+
+  // Parallel run, no persistence.
+  ScenarioPipeline parallel_pipeline(setup, zoo, {});
+  const SweepResult a = parallel_pipeline.run(variant_by_name("Original"), grid);
+
+  // Second run from scratch: identical accuracies in identical order.
+  const SweepResult b = parallel_pipeline.run(variant_by_name("Original"), grid);
+  ASSERT_EQ(a.rows.size(), grid.size());
+  ASSERT_EQ(b.rows.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(a.rows[i].scenario.id(), grid[i].id());
+    EXPECT_DOUBLE_EQ(a.rows[i].accuracy, b.rows[i].accuracy) << grid[i].id();
+  }
+  EXPECT_DOUBLE_EQ(a.baseline_accuracy, b.baseline_accuracy);
+
+  // Forced-serial run agrees with the fan-out (same seeds -> same results).
+  PipelineOptions serial_options;
+  serial_options.max_workers = 1;
+  ScenarioPipeline serial_pipeline(setup, zoo, serial_options);
+  const SweepResult serial =
+      serial_pipeline.run(variant_by_name("Original"), grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.rows[i].accuracy, a.rows[i].accuracy)
+        << grid[i].id();
+  }
+
+  // And the serial reference path (AttackEvaluator loop) agrees too.
+  auto model = zoo.get_or_train(setup, variant_by_name("Original"));
+  AttackEvaluator evaluator(setup, *model, "Original", "");
+  const auto reference = evaluate_grid(evaluator, grid, /*verbose=*/false);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reference[i].accuracy, a.rows[i].accuracy)
+        << grid[i].id();
+  }
+}
+
+TEST(Pipeline, ResumesFromPersistedStore) {
+  TempDir dir("pipeline_resume");
+  const ExperimentSetup setup = tiny_setup();
+  ModelZoo zoo(dir.path());
+  const auto grid = small_grid();
+
+  PipelineOptions options;
+  options.cache_dir = dir.path();
+  ScenarioPipeline pipeline(setup, zoo, options);
+  const SweepResult first = pipeline.run(variant_by_name("Original"), grid);
+  EXPECT_EQ(first.evaluated, grid.size());
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_FALSE(first.baseline_from_cache);
+
+  // A second pipeline instance (simulating a restarted process) evaluates
+  // nothing: every scenario and the baseline come from the store.
+  ScenarioPipeline resumed(setup, zoo, options);
+  const SweepResult second = resumed.run(variant_by_name("Original"), grid);
+  EXPECT_EQ(second.evaluated, 0u);
+  EXPECT_EQ(second.cache_hits, grid.size());
+  EXPECT_TRUE(second.baseline_from_cache);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.rows[i].accuracy, first.rows[i].accuracy);
+  }
+
+  // Interrupt simulation: delete one row from the store file; only that
+  // scenario is re-evaluated, and it reproduces the original value.
+  std::string store_file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().string().find(".sweep.csv") != std::string::npos) {
+      store_file = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(store_file.empty());
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(store_file);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 2u);
+  const std::string dropped = lines.back();
+  lines.pop_back();
+  {
+    std::ofstream out(store_file, std::ios::trunc);
+    for (const auto& line : lines) out << line << '\n';
+  }
+  ScenarioPipeline after_interrupt(setup, zoo, options);
+  const SweepResult third = after_interrupt.run(variant_by_name("Original"), grid);
+  EXPECT_EQ(third.evaluated, 1u);
+  EXPECT_EQ(third.cache_hits, grid.size() - 1);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(third.rows[i].accuracy, first.rows[i].accuracy);
+  }
+  (void)dropped;
+}
+
+TEST(Pipeline, DeduplicatesBaselineAndRepeatedScenarios) {
+  TempDir dir("pipeline_dedup");
+  const ExperimentSetup setup = tiny_setup();
+  ModelZoo zoo(dir.path());
+
+  // A grid that repeats the same scenario: evaluated once, reported twice.
+  auto grid = small_grid(1);
+  const std::size_t unique_count = grid.size();
+  grid.insert(grid.end(), grid.begin(), grid.begin() + 2);
+
+  PipelineOptions options;
+  options.cache_dir = dir.path();
+  ScenarioPipeline pipeline(setup, zoo, options);
+  const SweepResult sweep = pipeline.run(variant_by_name("Original"), grid);
+  EXPECT_EQ(sweep.evaluated, unique_count);
+  ASSERT_EQ(sweep.rows.size(), unique_count + 2);
+  EXPECT_DOUBLE_EQ(sweep.rows[0].accuracy, sweep.rows[unique_count].accuracy);
+
+  // The store holds exactly one baseline entry, shared by both sweeps of
+  // this variant (the second run reads, never re-evaluates).
+  const SweepResult again = pipeline.run(variant_by_name("Original"), grid);
+  EXPECT_TRUE(again.baseline_from_cache);
+  EXPECT_DOUBLE_EQ(again.baseline_accuracy, sweep.baseline_accuracy);
+}
+
+TEST(Pipeline, CorruptionConfigSeparatesStores) {
+  TempDir dir("pipeline_corruption");
+  const ExperimentSetup setup = tiny_setup();
+  ModelZoo zoo(dir.path());
+  const auto grid = attack::scenario_grid(
+      {attack::AttackVector::kActuation},
+      {attack::AttackTarget::kBothBlocks}, {0.10}, 1, 100);
+
+  PipelineOptions default_options;
+  default_options.cache_dir = dir.path();
+  ScenarioPipeline default_pipeline(setup, zoo, default_options);
+  const SweepResult default_sweep =
+      default_pipeline.run(variant_by_name("Original"), grid);
+
+  // Ablated physics (tiny park distance ~= stuck-at-zero) must not reuse
+  // the default-physics cache entries.
+  PipelineOptions ablated_options = default_options;
+  ablated_options.corruption.actuation.park_spacing_fraction = 0.02;
+  ScenarioPipeline ablated_pipeline(setup, zoo, ablated_options);
+  const SweepResult ablated_sweep =
+      ablated_pipeline.run(variant_by_name("Original"), grid);
+  EXPECT_EQ(ablated_sweep.evaluated, grid.size());  // no cross-config hits
+
+  std::size_t store_count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().string().find(".sweep.csv") != std::string::npos) {
+      ++store_count;
+    }
+  }
+  EXPECT_EQ(store_count, 2u);
+  (void)default_sweep;
+}
+
+}  // namespace
+}  // namespace safelight::core
