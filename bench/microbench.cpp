@@ -4,12 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "accel/mapping.hpp"
 #include "attacks/actuation.hpp"
 #include "attacks/hotspot.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/conv.hpp"
 #include "nn/gemm.hpp"
+#include "nn/gemm_ref.hpp"
 #include "nn/models.hpp"
 #include "photonics/mr_bank.hpp"
 #include "thermal/solver.hpp"
@@ -32,6 +37,54 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The kept naive reference kernel (nn/gemm_ref.hpp): the denominator of the
+// packed-kernel speedup ratio scripts/bench_report.sh records. It matches
+// the pre-PR-2 scalar kernel's structure, so BM_Gemm / BM_GemmRef tracks
+// the kernel rewrite's win on whatever host runs the report.
+void BM_GemmRef(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sl::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    sl::nn::gemm_ref(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmRef)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sl::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    sl::nn::gemm_bt(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmBt)->Arg(64)->Arg(256);
+
+// Cost of dispatching a (tiny) job to the persistent pool — the fixed
+// overhead every parallel_for pays, formerly a thread spawn + join.
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  sl::ThreadPool& pool = sl::ThreadPool::global();
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.run(sl::worker_count(), [&](std::size_t c) {
+      benchmark::DoNotOptimize(sink += c);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadPoolDispatch);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const auto channels = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Performance report: microbench kernels + a timed fig7 sweep, as JSON.
+#
+#   scripts/bench_report.sh [--smoke] [build-dir]
+#
+# Full mode (default) writes BENCH_pr2.json at the repo root — the perf
+# trajectory data point for this PR:
+#   * GEMM GFLOP/s at 64/128/256 (packed kernel and naive reference, plus
+#     the packed/naive speedup ratio),
+#   * Conv2d forward time,
+#   * end-to-end fig7_susceptibility sweep wall-clock at default scale,
+#     cold scenario cache, with the prefix-activation cache ON and OFF
+#     (SAFELIGHT_PREFIX_CACHE) on a pre-trained zoo.
+#
+# --smoke (used by scripts/check.sh and CI) runs the same pipeline at tiny
+# scale with minimal benchmark repetitions and writes the report into the
+# build directory instead, leaving the committed data point untouched.
+#
+# Requires the microbench binary (Google Benchmark) and python3 (JSON
+# assembly). Both are checked up front.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+MICROBENCH="$BUILD_DIR/bench/microbench"
+FIG7="$BUILD_DIR/bench/fig7_susceptibility"
+if [[ ! -x "$MICROBENCH" ]]; then
+  echo "bench_report: $MICROBENCH not built (Google Benchmark missing?)" >&2
+  exit 1
+fi
+if [[ ! -x "$FIG7" ]]; then
+  echo "bench_report: $FIG7 not built" >&2
+  exit 1
+fi
+command -v python3 >/dev/null || { echo "bench_report: python3 required" >&2; exit 1; }
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+if [[ "$SMOKE" == "1" ]]; then
+  SCALE=tiny
+  SEEDS=2
+  # Plain-double form: accepted by every google-benchmark (the "0.05s"
+  # suffix form only exists from v1.8).
+  BENCH_ARGS=(--benchmark_min_time=0.05)
+  OUT_JSON="$BUILD_DIR/bench_report_smoke.json"
+else
+  SCALE=default
+  SEEDS=2
+  BENCH_ARGS=()
+  OUT_JSON="BENCH_pr2.json"
+fi
+
+echo "== microbench (json) =="
+"$MICROBENCH" --benchmark_filter='BM_Gemm|BM_GemmRef|BM_Conv2dForward|BM_ThreadPoolDispatch' \
+  --benchmark_format=json "${BENCH_ARGS[@]}" >"$WORK_DIR/micro.json"
+
+echo "== fig7 sweep ($SCALE scale, $SEEDS seeds) =="
+export SAFELIGHT_SCALE="$SCALE"
+export SAFELIGHT_SEEDS="$SEEDS"
+export SAFELIGHT_ZOO="$WORK_DIR/zoo"
+export SAFELIGHT_OUT="$WORK_DIR/out"
+
+# Train once so the timed runs measure the sweep, not model training.
+"$FIG7" >"$WORK_DIR/fig7_train.log"
+
+run_sweep() {  # $1 = SAFELIGHT_PREFIX_CACHE value; prints wall seconds
+  rm -f "$SAFELIGHT_ZOO"/*.sweep.csv "$SAFELIGHT_ZOO"/*.sweep.jsonl
+  local start end
+  start=$(python3 -c 'import time; print(time.monotonic())')
+  SAFELIGHT_PREFIX_CACHE="$1" "$FIG7" >"$WORK_DIR/fig7_run.log"
+  end=$(python3 -c 'import time; print(time.monotonic())')
+  python3 -c "print(f'{$end - $start:.3f}')"
+}
+
+SWEEP_CACHED="$(run_sweep 1)"
+SWEEP_UNCACHED="$(run_sweep 0)"
+echo "sweep wall-clock: ${SWEEP_CACHED}s (prefix cache on), ${SWEEP_UNCACHED}s (off)"
+
+python3 - "$WORK_DIR/micro.json" "$OUT_JSON" "$SCALE" "$SEEDS" \
+    "$SWEEP_CACHED" "$SWEEP_UNCACHED" <<'PY'
+import json, platform, subprocess, sys
+
+micro_path, out_path, scale, seeds, cached, uncached = sys.argv[1:7]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+def bench(name):
+    for b in micro.get("benchmarks", []):
+        if b["name"] == name:
+            return b
+    return None
+
+def gflops(name):
+    b = bench(name)
+    return round(b["items_per_second"] / 1e9, 2) if b else None
+
+def micros(name):
+    b = bench(name)
+    return round(b["real_time"] / 1e3, 1) if b else None  # ns -> us
+
+def ratio(a, b):
+    return round(a / b, 2) if a and b else None
+
+gemm = {n: gflops(f"BM_Gemm/{n}") for n in (64, 128, 256)}
+ref = {n: gflops(f"BM_GemmRef/{n}") for n in (64, 128, 256)}
+report = {
+    "pr": 2,
+    "host": {
+        "machine": platform.machine(),
+        "cpus": micro.get("context", {}).get("num_cpus"),
+    },
+    "gemm_gflops": {str(n): gemm[n] for n in gemm},
+    "gemm_ref_gflops": {str(n): ref[n] for n in ref},
+    "gemm_speedup_vs_ref": {str(n): ratio(gemm[n], ref[n]) for n in gemm},
+    "conv2d_forward_us": {
+        "c8": micros("BM_Conv2dForward/8"),
+        "c32": micros("BM_Conv2dForward/32"),
+    },
+    "thread_pool_dispatch_us": micros("BM_ThreadPoolDispatch"),
+    "fig7_sweep": {
+        "scale": scale,
+        "seeds": int(seeds),
+        "wall_seconds_prefix_cache_on": float(cached),
+        "wall_seconds_prefix_cache_off": float(uncached),
+        "prefix_cache_speedup": ratio(float(uncached), float(cached)),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

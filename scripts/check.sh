@@ -40,4 +40,15 @@ start=$(date +%s)
 elapsed=$(( $(date +%s) - start ))
 echo "cached fig7 re-run: ${elapsed}s"
 
+# Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with
+# the prefix cache A/B, exercised end to end when the bench stack is built.
+if [[ -x "$BUILD_DIR/bench/microbench" ]] && command -v python3 >/dev/null; then
+  echo "== bench report smoke =="
+  unset SAFELIGHT_SCALE SAFELIGHT_SEEDS SAFELIGHT_ZOO SAFELIGHT_OUT
+  scripts/bench_report.sh --smoke "$BUILD_DIR"
+  test -s "$BUILD_DIR/bench_report_smoke.json"
+else
+  echo "== bench report smoke skipped (microbench or python3 missing) =="
+fi
+
 echo "== all checks passed =="

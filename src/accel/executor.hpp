@@ -8,9 +8,17 @@
 // the photodetected partial sums after each mapped layer. With attacks
 // disabled the executor's output provably matches the pure software forward
 // pass within quantizer resolution (integration-tested).
+//
+// Every forward entry point is a window [begin_layer, end_layer) over the
+// same per-layer walk, so a pass split at any boundary is bitwise-identical
+// to an unsplit pass. The attack sweep exploits this: activations of the
+// layers *before* the first corrupted one are computed once per sweep
+// (forward_prefix) and every scenario resumes from them (forward_from /
+// evaluate_from) — see core::AttackEvaluator.
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "accel/arch.hpp"
 #include "nn/dataset.hpp"
@@ -45,9 +53,35 @@ class OnnExecutor {
   /// Forward pass through the accelerator.
   nn::Tensor forward(nn::Sequential& model, const nn::Tensor& x) const;
 
+  /// Forward through layers [0, end_layer) only; returns the boundary
+  /// activation that forward_from resumes bitwise-identically from.
+  nn::Tensor forward_prefix(nn::Sequential& model, const nn::Tensor& x,
+                            std::size_t end_layer) const;
+
+  /// Resumes a forward pass at begin_layer from a boundary activation.
+  nn::Tensor forward_from(nn::Sequential& model, const nn::Tensor& h,
+                          std::size_t begin_layer) const;
+
   /// Classification accuracy of `model` on `data` via this executor.
   double evaluate(nn::Sequential& model, const nn::Dataset& data,
                   std::size_t batch_size = 64) const;
+
+  /// Boundary activations of every batch of `data` at end_layer, in batch
+  /// order (the cacheable prefix of a sweep's evaluations). Batching must
+  /// match the evaluate_from call that consumes them.
+  std::vector<nn::Tensor> prefix_activations(nn::Sequential& model,
+                                             const nn::Dataset& data,
+                                             std::size_t end_layer,
+                                             std::size_t batch_size = 64) const;
+
+  /// evaluate(), but every batch's forward resumes at begin_layer from the
+  /// matching entry of `prefix` (computed by prefix_activations with the
+  /// same batch_size). Bitwise-identical to evaluate() whenever the layers
+  /// before begin_layer are in the state the prefix was computed with.
+  double evaluate_from(nn::Sequential& model, const nn::Dataset& data,
+                       std::size_t begin_layer,
+                       const std::vector<nn::Tensor>& prefix,
+                       std::size_t batch_size = 64) const;
 
   /// Installs (or clears, with nullptr) a read-out corruption hook. While a
   /// hook is installed, forward() walks the model layer by layer even when
@@ -56,6 +90,15 @@ class OnnExecutor {
   bool has_readout_hook() const { return static_cast<bool>(readout_hook_); }
 
  private:
+  /// Shared layer walk over [begin_layer, end_layer): plain forwards plus,
+  /// per mapped layer, ADC quantization and the read-out hook when enabled.
+  nn::Tensor walk(nn::Sequential& model, const nn::Tensor& h,
+                  std::size_t begin_layer, std::size_t end_layer) const;
+
+  /// Argmax-accuracy of `logits` rows against `labels`.
+  static std::size_t count_correct(const nn::Tensor& logits,
+                                   const std::vector<int>& labels);
+
   AcceleratorConfig config_;
   ExecutorOptions options_;
   ReadoutHook readout_hook_;

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "common/thread_pool.hpp"
 
 namespace safelight {
 
@@ -33,36 +32,32 @@ void parallel_for_chunks(
     std::size_t min_grain) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  std::size_t workers =
-      std::min(worker_count(), std::max<std::size_t>(1, total / std::max<std::size_t>(1, min_grain)));
-  if (g_in_parallel_region) workers = 1;
-  if (workers <= 1) {
+  const std::size_t grain = std::max<std::size_t>(1, min_grain);
+  // Serial fallback, exactly as documented: below two grains there is
+  // nothing worth splitting. (total / grain avoids overflow of grain * 2.)
+  std::size_t workers = std::min(worker_count(), total / grain);
+  if (g_in_parallel_region || workers <= 1) {
     fn(begin, end);
     return;
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
   const std::size_t chunk = (total + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
-    if (lo >= end) break;
+  const std::size_t chunk_count = (total + chunk - 1) / chunk;
+  ThreadPool::global().run(chunk_count, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    threads.emplace_back([&, lo, hi] {
-      g_in_parallel_region = true;
-      try {
-        fn(lo, hi);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+    // The submitting thread drains chunks too; mark it (and the pool
+    // workers) as inside the region so nested calls stay serial.
+    const bool was_inside = g_in_parallel_region;
+    g_in_parallel_region = true;
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      g_in_parallel_region = was_inside;
+      throw;  // captured per chunk by the pool, rethrown after the job
+    }
+    g_in_parallel_region = was_inside;
+  });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

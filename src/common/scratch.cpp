@@ -1,0 +1,69 @@
+#include "common/scratch.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace safelight {
+
+namespace {
+
+// Block growth floor (floats) and per-allocation alignment (floats). 64-byte
+// alignment keeps packed GEMM panels on cache-line / vector-register
+// boundaries.
+constexpr std::size_t kMinBlockFloats = 1u << 14;  // 64 KiB
+constexpr std::size_t kAlignFloats = 16;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+void ScratchArena::AlignedDelete::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+float* ScratchArena::alloc(std::size_t count) {
+  const std::size_t need = std::max<std::size_t>(1, align_up(count));
+  used_ = align_up(used_);
+  // Advance to the first block with room; blocks beyond block_ are always
+  // wholly free (their contents were released by a Frame).
+  while (block_ < blocks_.size() && used_ + need > blocks_[block_].size) {
+    ++block_;
+    used_ = 0;
+  }
+  if (block_ >= blocks_.size()) {
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+    const std::size_t size = std::max({kMinBlockFloats, prev * 2, need});
+    Block block;
+    block.data.reset(static_cast<float*>(
+        ::operator new[](size * sizeof(float), std::align_val_t{64})));
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    block_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+  float* out = blocks_[block_].data.get() + used_;
+  used_ += need;
+  return out;
+}
+
+float* ScratchArena::alloc_zeroed(std::size_t count) {
+  float* out = alloc(count);
+  std::memset(out, 0, count * sizeof(float));
+  return out;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) total += block.size;
+  return total;
+}
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace safelight

@@ -1,0 +1,80 @@
+// Persistent worker-thread pool behind the parallel_for helpers.
+//
+// The experiment sweeps issue thousands of small GEMMs; spawning
+// std::thread per call made thread creation a measurable fraction of every
+// kernel launch. The pool keeps worker_count() - 1 threads parked on a
+// condition variable and hands them *jobs*: a chunk counter drained
+// cooperatively by the workers and the submitting thread (work stealing at
+// chunk granularity). Chunks are data-disjoint by construction in every
+// caller, so which thread runs a chunk never affects results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safelight {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` persistent workers (0 is valid: run() degrades to a
+  /// serial loop on the calling thread).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers. Must not race with an active run().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invokes fn(chunk) for every chunk in [0, chunk_count), distributing
+  /// chunks over the workers; the calling thread participates, so the pool
+  /// is never idle while the caller blocks. Returns when every chunk has
+  /// finished. The first exception thrown by fn is rethrown on the calling
+  /// thread after the job completes; remaining chunks still run.
+  ///
+  /// Safe to call concurrently from several threads (jobs interleave on the
+  /// shared workers) and reusable for any number of submissions.
+  void run(std::size_t chunk_count, const std::function<void(std::size_t)>& fn);
+
+  /// Number of persistent worker threads (excluding submitting threads).
+  std::size_t thread_count() const { return threads_.size(); }
+
+  /// Process-wide pool sized to worker_count() - 1, created on first use.
+  /// parallel_for / parallel_for_chunks submit here.
+  static ThreadPool& global();
+
+ private:
+  // One parallel region in flight. Tokens queued to workers share ownership,
+  // so a late-waking worker can never touch a job that already completed
+  // and was destroyed, and never crosses over into a newer job.
+  struct Job {
+    Job(const std::function<void(std::size_t)>& f, std::size_t n)
+        : fn(&f), chunks(n) {}
+
+    const std::function<void(std::size_t)>* fn;
+    const std::size_t chunks;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t next = 0;      // next unclaimed chunk (guarded by mutex)
+    std::size_t done = 0;      // finished chunks (guarded by mutex)
+    std::exception_ptr error;  // first failure (guarded by mutex)
+
+    void drain();              // claim and run chunks until none remain
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex queue_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace safelight

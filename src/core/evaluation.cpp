@@ -1,7 +1,9 @@
 #include "core/evaluation.hpp"
 
+#include <cstring>
 #include <filesystem>
 
+#include "common/env.hpp"
 #include "common/fingerprint.hpp"
 #include "nn/serialize.hpp"
 
@@ -25,6 +27,17 @@ nn::Sequential& conditioned(const accel::OnnExecutor& executor,
   return model;
 }
 
+/// Batch size shared by all evaluator entry points; prefix activations are
+/// cached per batch, so producer and consumer must agree on it.
+constexpr std::size_t kEvalBatch = 64;
+
+/// Upper bound on floats held by one evaluator's whole prefix cache, all
+/// boundaries combined (~256 MB). Boundaries that would push past it fall
+/// back to plain evaluation instead of exhausting memory — note the sweep
+/// pipeline runs one evaluator per fan-out worker, so total prefix memory
+/// is worker_count() times this bound.
+constexpr std::size_t kMaxPrefixFloats = 64u << 20;
+
 }  // namespace
 
 AttackEvaluator::AttackEvaluator(const ExperimentSetup& setup,
@@ -37,7 +50,8 @@ AttackEvaluator::AttackEvaluator(const ExperimentSetup& setup,
       mapping_(conditioned(executor_, model), setup.accelerator),
       clean_snapshot_(nn::snapshot_state(model)),
       eval_data_(make_test_data(setup).take(setup.eval_count)),
-      corruption_(std::move(corruption)) {
+      corruption_(std::move(corruption)),
+      prefix_cache_enabled_(env_int("SAFELIGHT_PREFIX_CACHE", 1) != 0) {
   std::string cache_path;
   if (!cache_dir.empty()) {
     std::filesystem::create_directories(cache_dir);
@@ -48,6 +62,17 @@ AttackEvaluator::AttackEvaluator(const ExperimentSetup& setup,
                  attack::config_fingerprint(corruption_) + ".csv";
   }
   cache_ = std::make_unique<ResultStore>(cache_path);
+
+  // Clean copies of every mapped parameter, grouped by layer in layer
+  // order: the byte-comparison base for first_dirty_layer().
+  for (std::size_t i = 0; i < model_.size(); ++i) {
+    std::vector<std::pair<const nn::Param*, nn::Tensor>> mapped;
+    for (nn::Param* p : model_.layer(i).params()) {
+      if (p->kind == nn::ParamKind::kElectronic) continue;
+      mapped.emplace_back(p, p->value);
+    }
+    if (!mapped.empty()) clean_mapped_.emplace_back(i, std::move(mapped));
+  }
 }
 
 std::string AttackEvaluator::cache_key(const std::string& scenario_id) const {
@@ -58,11 +83,68 @@ void AttackEvaluator::restore_clean() {
   nn::restore_state(model_, clean_snapshot_);
 }
 
+std::size_t AttackEvaluator::first_dirty_layer() const {
+  for (const auto& [layer, mapped] : clean_mapped_) {
+    for (const auto& [param, clean] : mapped) {
+      if (std::memcmp(param->value.data(), clean.data(),
+                      clean.numel() * sizeof(float)) != 0) {
+        return layer;
+      }
+    }
+  }
+  return model_.size();
+}
+
+const std::vector<nn::Tensor>& AttackEvaluator::prefix_for(std::size_t layer) {
+  const auto it = prefix_cache_.find(layer);
+  if (it != prefix_cache_.end()) return it->second;
+  // The model currently carries the attacked weights; the prefix must be
+  // computed with the clean ones. Corrupted state is parked and restored
+  // around the computation — a few tensor copies, once per boundary.
+  std::vector<nn::Tensor> attacked = nn::snapshot_state(model_);
+  nn::restore_state(model_, clean_snapshot_);
+  auto prefix =
+      executor_.prefix_activations(model_, eval_data_, layer, kEvalBatch);
+  nn::restore_state(model_, attacked);
+  return prefix_cache_.emplace(layer, std::move(prefix)).first->second;
+}
+
+double AttackEvaluator::evaluate_attacked() {
+  // A read-out hook corrupts the outputs of *clean* layers too, so cached
+  // clean activations would be wrong.
+  if (!prefix_cache_enabled_ || executor_.has_readout_hook()) {
+    return executor_.evaluate(model_, eval_data_, kEvalBatch);
+  }
+  const std::size_t dirty = first_dirty_layer();
+  if (dirty == 0) {
+    // Corruption starts at the first layer: nothing cacheable.
+    return executor_.evaluate(model_, eval_data_, kEvalBatch);
+  }
+  if (prefix_cache_.find(dirty) == prefix_cache_.end()) {
+    // Estimate the boundary's footprint before committing memory to it.
+    nn::Shape shape = eval_data_.sample_shape();
+    shape.insert(shape.begin(), kEvalBatch);
+    for (std::size_t i = 0; i < dirty; ++i) {
+      shape = model_.layer(i).output_shape(shape);
+    }
+    const std::size_t batches =
+        (eval_data_.size() + kEvalBatch - 1) / kEvalBatch;
+    const std::size_t boundary_floats = batches * nn::shape_numel(shape);
+    if (prefix_floats_ + boundary_floats > kMaxPrefixFloats) {
+      return executor_.evaluate(model_, eval_data_, kEvalBatch);
+    }
+    prefix_floats_ += boundary_floats;
+  }
+  ++prefix_hits_;
+  return executor_.evaluate_from(model_, eval_data_, dirty, prefix_for(dirty),
+                                 kEvalBatch);
+}
+
 double AttackEvaluator::baseline_accuracy() {
   const std::string key = cache_key("baseline");
   if (const auto cached = cache_->lookup(key)) return *cached;
   restore_clean();
-  const double accuracy = executor_.evaluate(model_, eval_data_);
+  const double accuracy = executor_.evaluate(model_, eval_data_, kEvalBatch);
   cache_->put(key, accuracy);
   return accuracy;
 }
@@ -74,7 +156,7 @@ double AttackEvaluator::evaluate_scenario(
 
   restore_clean();
   last_stats_ = attack::apply_attack(mapping_, scenario, corruption_);
-  const double accuracy = executor_.evaluate(model_, eval_data_);
+  const double accuracy = evaluate_attacked();
   restore_clean();
 
   cache_->put(key, accuracy);

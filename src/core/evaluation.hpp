@@ -10,10 +10,24 @@
 // Results are memoized in a CSV keyed by a checksum of the trained weights,
 // so reruns of the bench suite are cheap and retraining invalidates stale
 // entries automatically.
+//
+// Prefix-activation caching: apply_attack only mutates parameters of
+// MR-mapped layers, so for the fixed eval set the activations up to the
+// first corrupted layer are identical across scenarios. The evaluator
+// detects each scenario's first dirty layer (byte comparison against the
+// clean snapshot), computes the clean activations at that boundary once per
+// boundary, and resumes every scenario's forward there — bitwise-identical
+// to a full forward, and free of the conv-stack cost for FC-only attacks.
+// Caching is disabled while a read-out hook is installed (the hook corrupts
+// even clean-prefix layers) and can be turned off globally with
+// SAFELIGHT_PREFIX_CACHE=0 (the A/B switch scripts/bench_report.sh uses).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "accel/executor.hpp"
 #include "attacks/corruption.hpp"
@@ -46,10 +60,31 @@ class AttackEvaluator {
   /// Leaves the model in its clean conditioned state.
   void restore_clean();
 
+  /// Enables/disables prefix-activation caching for this evaluator
+  /// (overrides the SAFELIGHT_PREFIX_CACHE default; tests A/B both paths).
+  void set_prefix_cache(bool enabled) { prefix_cache_enabled_ = enabled; }
+  bool prefix_cache_enabled() const { return prefix_cache_enabled_; }
+
+  /// Index of the first layer whose mapped parameters differ from the clean
+  /// snapshot; model.size() when no corruption landed. Exposed for tests.
+  std::size_t first_dirty_layer() const;
+
+  /// Prefix evaluations served / boundaries computed so far (diagnostics).
+  std::size_t prefix_hits() const { return prefix_hits_; }
+  std::size_t prefix_boundaries() const { return prefix_cache_.size(); }
+
   const ExperimentSetup& setup() const { return setup_; }
 
  private:
   std::string cache_key(const std::string& scenario_id) const;
+
+  /// Accuracy of the currently-attacked model, routed through the prefix
+  /// cache when eligible, plain evaluation otherwise.
+  double evaluate_attacked();
+
+  /// Returns the cached clean activations at boundary `layer`, computing
+  /// them on first use (temporarily restoring the clean weights).
+  const std::vector<nn::Tensor>& prefix_for(std::size_t layer);
 
   ExperimentSetup setup_;
   nn::Sequential& model_;
@@ -61,6 +96,17 @@ class AttackEvaluator {
   attack::CorruptionConfig corruption_;
   attack::CorruptionStats last_stats_{};
   std::unique_ptr<ResultStore> cache_;  // in-memory when cache_dir was empty
+
+  /// Per-layer clean copies of the MR-mapped parameter tensors, in layer
+  /// order (only layers that own mapped parameters appear).
+  std::vector<std::pair<std::size_t,
+                        std::vector<std::pair<const nn::Param*, nn::Tensor>>>>
+      clean_mapped_;
+  /// boundary layer index -> clean activations per eval batch.
+  std::map<std::size_t, std::vector<nn::Tensor>> prefix_cache_;
+  bool prefix_cache_enabled_ = true;
+  std::size_t prefix_hits_ = 0;
+  std::size_t prefix_floats_ = 0;  // floats held across all boundaries
 };
 
 /// FNV-1a checksum over all parameter bytes (cache invalidation key).

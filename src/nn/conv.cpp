@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/scratch.hpp"
 #include "nn/gemm.hpp"
 
 namespace safelight::nn {
@@ -57,17 +58,18 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   parallel_for_chunks(
       0, batch,
       [&](std::size_t lo, std::size_t hi) {
-        std::vector<float> cols(patch * hw);
+        // Per-worker scratch: the im2col buffer lives in the thread-local
+        // arena and is reused across every batch item of the chunk.
+        ScratchArena& arena = ScratchArena::local();
+        const ScratchArena::Frame frame(arena);
+        float* cols = arena.alloc(patch * hw);
         for (std::size_t n = lo; n < hi; ++n) {
-          im2col(x.data() + n * in_c_ * g.in_h * g.in_w, g, cols.data());
+          im2col(x.data() + n * in_c_ * g.in_h * g.in_w, g, cols);
           float* out_n = out.data() + n * out_c_ * hw;
-          gemm(w, cols.data(), out_n, out_c_, patch, hw);
-          if (b != nullptr) {
-            for (std::size_t o = 0; o < out_c_; ++o) {
-              float* row = out_n + o * hw;
-              for (std::size_t i = 0; i < hw; ++i) row[i] += b[o];
-            }
-          }
+          // Bias (one per output channel = per GEMM row) fuses into the
+          // kernel epilogue instead of a second pass over the output.
+          gemm(w, cols, out_n, out_c_, patch, hw, /*accumulate=*/false,
+               /*row_bias=*/b);
         }
       },
       1);
@@ -113,13 +115,15 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                          "Conv2d::backward: more chunks than workers");
         float* gw = gw_parts[part].data();
         float* gb = gb_parts[part].data();
-        std::vector<float> cols(patch * hw);
-        std::vector<float> cols_grad(patch * hw);
+        ScratchArena& arena = ScratchArena::local();
+        const ScratchArena::Frame frame(arena);
+        float* cols = arena.alloc(patch * hw);
+        float* cols_grad = arena.alloc(patch * hw);
         for (std::size_t n = lo; n < hi; ++n) {
           const float* gout_n = grad_out.data() + n * out_c_ * hw;
-          im2col(x.data() + n * in_c_ * g.in_h * g.in_w, g, cols.data());
+          im2col(x.data() + n * in_c_ * g.in_h * g.in_w, g, cols);
           // dW += gout_n [outC x hw] * cols^T [hw x patch]
-          gemm_bt(gout_n, cols.data(), gw, out_c_, hw, patch,
+          gemm_bt(gout_n, cols, gw, out_c_, hw, patch,
                   /*accumulate=*/true);
           if (has_bias_) {
             for (std::size_t o = 0; o < out_c_; ++o) {
@@ -130,8 +134,8 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
             }
           }
           // dcols = W^T [patch x outC] * gout_n [outC x hw]
-          gemm_at(w, gout_n, cols_grad.data(), patch, out_c_, hw);
-          col2im(cols_grad.data(), g,
+          gemm_at(w, gout_n, cols_grad, patch, out_c_, hw);
+          col2im(cols_grad, g,
                  grad_in.data() + n * in_c_ * g.in_h * g.in_w);
         }
       },

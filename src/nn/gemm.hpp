@@ -1,22 +1,40 @@
-// Blocked single-precision GEMM kernels.
+// Packed, register-tiled single-precision GEMM kernels.
 //
 // All convolution and fully-connected compute lowers onto these three
-// routines. They are cache-blocked and parallelized over output rows with
-// common/parallel.hpp; on the 2-core reproduction host they reach a few
-// GFLOP/s, which sizes the experiment defaults in core/experiment_scale.
+// routines. B is packed into kNr-wide column panels held in the thread-local
+// scratch arena; a kMr x kNr register-blocked micro-kernel (unrolled by 4
+// over k) then streams the panels, which auto-vectorizes on any SIMD ISA the
+// compiler targets (src/CMakeLists.txt compiles this translation unit for
+// the host ISA when available).
+//
+// Numerics contract: every output element is reduced over k in ascending
+// order through a single accumulator, with FMA contraction disabled, so
+// results are bitwise-identical to the naive reference kernels in
+// nn/gemm_ref.hpp regardless of tile shape or thread count (enforced by
+// tests/gemm_equivalence_test.cpp).
+//
+// The optional fused bias is added once per output element after the
+// reduction — the same rounding sequence as a separate bias pass, without
+// re-traversing C.
 #pragma once
 
 #include <cstddef>
 
 namespace safelight::nn {
 
-/// C[m x n] = A[m x k] * B[k x n] (+ C when accumulate). Row-major, no alias.
+/// C[m x n] = A[m x k] * B[k x n] (+ C when accumulate). Row-major, no
+/// alias. When row_bias is non-null, bias[i] is added to every element of
+/// output row i in the epilogue (Conv2d: one bias per output channel).
 void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n, bool accumulate = false);
+          std::size_t k, std::size_t n, bool accumulate = false,
+          const float* row_bias = nullptr);
 
-/// C[m x n] = A[m x k] * B^T where B is [n x k]. Row-major, no alias.
+/// C[m x n] = A[m x k] * B^T where B is [n x k]. Row-major, no alias. When
+/// col_bias is non-null, bias[j] is added to every element of output column
+/// j in the epilogue (Linear: one bias per output feature).
 void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
-             std::size_t k, std::size_t n, bool accumulate = false);
+             std::size_t k, std::size_t n, bool accumulate = false,
+             const float* col_bias = nullptr);
 
 /// C[m x n] = A^T * B where A is [k x m], B is [k x n]. Row-major, no alias.
 void gemm_at(const float* a, const float* b, float* c, std::size_t m,

@@ -28,15 +28,11 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   const Shape out_shape = output_shape(x.shape());
   const std::size_t batch = x.dim(0);
   Tensor out(out_shape);
-  // out[N x out] = x[N x in] * W^T (W is [out x in])
-  gemm_bt(x.data(), weight_.value.data(), out.data(), batch, in_, out_);
-  if (has_bias_) {
-    const float* b = bias_.value.data();
-    for (std::size_t n = 0; n < batch; ++n) {
-      float* row = out.data() + n * out_;
-      for (std::size_t o = 0; o < out_; ++o) row[o] += b[o];
-    }
-  }
+  // out[N x out] = x[N x in] * W^T (W is [out x in]); the per-feature bias
+  // (one per output column) fuses into the GEMM epilogue.
+  gemm_bt(x.data(), weight_.value.data(), out.data(), batch, in_, out_,
+          /*accumulate=*/false,
+          /*col_bias=*/has_bias_ ? bias_.value.data() : nullptr);
   cached_input_ = train ? x : Tensor();
   return out;
 }

@@ -14,9 +14,18 @@ Layer& Sequential::add(LayerPtr layer) {
 }
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h, train);
-  return h;
+  return forward_from(0, x, train);
+}
+
+Tensor Sequential::forward_from(std::size_t begin_layer, const Tensor& h,
+                                bool train) {
+  require(begin_layer <= layers_.size(),
+          "Sequential::forward_from: layer index out of range");
+  Tensor cur = h;
+  for (std::size_t i = begin_layer; i < layers_.size(); ++i) {
+    cur = layers_[i]->forward(cur, train);
+  }
+  return cur;
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {

@@ -25,6 +25,15 @@ class Sequential final : public Layer {
   }
 
   Tensor forward(const Tensor& x, bool train) override;
+
+  /// Resumes a forward pass at `begin_layer` from a previously computed
+  /// activation `h` (the output of layer begin_layer - 1). forward(x, t) is
+  /// exactly forward_from(0, x, t); splitting a pass at any boundary yields
+  /// bitwise-identical outputs. This is the entry point of the attack
+  /// sweep's prefix-activation cache: scenarios that only corrupt layers
+  /// >= L re-use the cached clean activations for layers < L.
+  Tensor forward_from(std::size_t begin_layer, const Tensor& h, bool train);
+
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::vector<Tensor*> state_tensors() override;

@@ -224,6 +224,42 @@ TEST(Parallel, NestedCallsDegradeSerially) {
 
 TEST(Parallel, WorkerCountPositive) { EXPECT_GE(worker_count(), 1u); }
 
+TEST(Parallel, SerialBelowTwoGrains) {
+  // Documented contract: a range shorter than min_grain * 2 runs serially,
+  // i.e. fn is invoked exactly once with the whole range — independent of
+  // how many workers the host grants.
+  const std::size_t grain = 8;
+  std::atomic<int> calls{0};
+  parallel_for_chunks(
+      0, 2 * grain - 1,
+      [&](std::size_t lo, std::size_t hi) {
+        calls++;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 2 * grain - 1);
+      },
+      grain);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Parallel, ParallelChunksRespectMinGrain) {
+  // At or above two grains the split may fan out, but every chunk except
+  // possibly the tail must span at least min_grain indices. A total that
+  // divides by nothing relevant exercises the tail-chunk case.
+  const std::size_t grain = 8;
+  const std::size_t end = 10 * grain + 3;
+  std::atomic<std::size_t> covered{0};
+  parallel_for_chunks(
+      0, end,
+      [&](std::size_t lo, std::size_t hi) {
+        if (hi != end) {
+          EXPECT_GE(hi - lo, grain);
+        }
+        covered += hi - lo;
+      },
+      grain);
+  EXPECT_EQ(covered.load(), end);
+}
+
 // ---------------------------------------------------------------- csv
 
 TEST(Csv, RoundTrip) {

@@ -1,0 +1,111 @@
+// Prefix-activation cache: scenario accuracies must be bitwise-identical
+// with caching on and off, for every attack target (FC-only attacks resume
+// deep in the network, CONV/both attacks mostly start at layer 0), and the
+// executor's split forward must reproduce the unsplit forward exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/evaluation.hpp"
+#include "core/experiment_scale.hpp"
+#include "core/zoo.hpp"
+#include "nn/models.hpp"
+
+namespace safelight::core {
+namespace {
+
+/// Small trained-ish model + setup shared by the tests (training from the
+/// zoo would be slow; conditioning alone exercises the full path).
+struct Fixture {
+  Fixture()
+      : setup(experiment_setup(nn::ModelId::kCnn1, Scale::kTiny)),
+        model(nn::make_model(setup.model, setup.model_config)) {}
+
+  ExperimentSetup setup;
+  std::unique_ptr<nn::Sequential> model;
+};
+
+std::vector<attack::AttackScenario> probe_grid() {
+  return attack::scenario_grid(
+      {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
+      {attack::AttackTarget::kFcBlock, attack::AttackTarget::kConvBlock,
+       attack::AttackTarget::kBothBlocks},
+      {0.05}, /*seed_count=*/2);
+}
+
+TEST(PrefixCache, ScenarioAccuraciesBitwiseIdenticalOnVsOff) {
+  Fixture on_fix, off_fix;
+  AttackEvaluator cached(on_fix.setup, *on_fix.model, "test", "");
+  AttackEvaluator plain(off_fix.setup, *off_fix.model, "test", "");
+  cached.set_prefix_cache(true);
+  plain.set_prefix_cache(false);
+
+  for (const auto& scenario : probe_grid()) {
+    const double with_cache = cached.evaluate_scenario(scenario);
+    const double without = plain.evaluate_scenario(scenario);
+    // Bitwise, not approximate: the cache must not change a single ulp.
+    EXPECT_EQ(std::memcmp(&with_cache, &without, sizeof(double)), 0)
+        << scenario.id() << ": " << with_cache << " vs " << without;
+  }
+  EXPECT_GT(cached.prefix_hits(), 0u) << "cache never engaged";
+  EXPECT_EQ(plain.prefix_hits(), 0u);
+}
+
+TEST(PrefixCache, FcAttackResumesPastConvStack) {
+  Fixture fix;
+  AttackEvaluator evaluator(fix.setup, *fix.model, "test", "");
+  attack::AttackScenario scenario;
+  scenario.vector = attack::AttackVector::kActuation;
+  scenario.target = attack::AttackTarget::kFcBlock;
+  scenario.fraction = 0.10;
+  scenario.seed = 3;
+  (void)evaluator.evaluate_scenario(scenario);
+  EXPECT_GT(evaluator.prefix_hits(), 0u);
+  EXPECT_GE(evaluator.prefix_boundaries(), 1u);
+  // After restore_clean, no layer is dirty.
+  EXPECT_EQ(evaluator.first_dirty_layer(), fix.model->size());
+}
+
+TEST(PrefixCache, SplitForwardMatchesUnsplitBitwise) {
+  Fixture fix;
+  accel::OnnExecutor executor(fix.setup.accelerator,
+                              {/*quantize_weights=*/true,
+                               /*quantize_activations=*/true});
+  executor.condition_weights(*fix.model);
+  const nn::Dataset data = make_test_data(fix.setup).take(40);
+  auto [images, labels] = data.batch(0, data.size());
+  (void)labels;
+
+  const nn::Tensor full = executor.forward(*fix.model, images);
+  for (std::size_t split = 0; split <= fix.model->size(); ++split) {
+    const nn::Tensor prefix =
+        executor.forward_prefix(*fix.model, images, split);
+    const nn::Tensor resumed = executor.forward_from(*fix.model, prefix, split);
+    ASSERT_EQ(resumed.shape(), full.shape()) << "split at " << split;
+    EXPECT_EQ(std::memcmp(resumed.data(), full.data(),
+                          full.numel() * sizeof(float)),
+              0)
+        << "split at layer " << split << " is not bitwise-identical";
+  }
+}
+
+TEST(PrefixCache, EvaluateFromMatchesEvaluate) {
+  Fixture fix;
+  accel::OnnExecutor executor(fix.setup.accelerator);
+  executor.condition_weights(*fix.model);
+  const nn::Dataset data = make_test_data(fix.setup).take(100);
+  const std::size_t batch = 32;
+  const double direct = executor.evaluate(*fix.model, data, batch);
+  for (std::size_t split : {std::size_t{1}, fix.model->size() / 2,
+                            fix.model->size()}) {
+    const auto prefix =
+        executor.prefix_activations(*fix.model, data, split, batch);
+    const double resumed =
+        executor.evaluate_from(*fix.model, data, split, prefix, batch);
+    EXPECT_EQ(std::memcmp(&direct, &resumed, sizeof(double)), 0)
+        << "evaluate_from split " << split;
+  }
+}
+
+}  // namespace
+}  // namespace safelight::core

@@ -1,0 +1,113 @@
+// Stress tests for the persistent worker pool behind parallel_for.
+//
+// The pool instances here are constructed with explicit thread counts, so
+// these tests exercise real concurrency even when the host (or
+// SAFELIGHT_THREADS) only grants one worker to the global pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
+
+namespace safelight {
+namespace {
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t c) { hits[c]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroChunksIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.run(ids.size(), [&](std::size_t c) { ids[c] = std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, DistributesAcrossThreads) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  // Chunks that block briefly force multiple threads to participate.
+  pool.run(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  try {
+    pool.run(32, [&](std::size_t c) {
+      if (c == 7) throw std::runtime_error("boom");
+      completed++;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Every non-throwing chunk still ran (the job completes before rethrow).
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(ThreadPool, SurvivesManySubmissions) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 10000; ++round) {
+    pool.run(4, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 40000u);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersInterleaveSafely) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        pool.run(8, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4u * 200u * 8u);
+}
+
+TEST(ThreadPool, NestedParallelForInsidePoolWorkDegradesSerially) {
+  // parallel_for inside a pool-executed chunk must run serially rather than
+  // resubmitting to the (possibly same) pool — no deadlock, exact coverage.
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 10, [&](std::size_t) { count++; }, 1);
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPool, GlobalPoolMatchesWorkerCount) {
+  EXPECT_EQ(ThreadPool::global().thread_count(), worker_count() - 1);
+}
+
+}  // namespace
+}  // namespace safelight
