@@ -3,25 +3,48 @@
 #
 #   scripts/check.sh [build-dir]
 #
-# 1. configure + build (warnings-as-errors, Release)
+# 1. configure + build (warnings-as-errors, Release; ccache-launched when
+#    ccache is on PATH, so cached CI runs rebuild in seconds)
 # 2. run the full ctest suite
 # 3. smoke the scenario pipeline end to end at tiny scale: a fig7 sweep
 #    must complete, write its CSV, and resume instantly from cache.
+# 4. smoke the detection sweep: fig_detection must run and write its CSVs.
+# Ends with a per-phase wall-time summary.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S . >/dev/null
+TIMING_NAMES=()
+TIMING_SECS=()
+PHASE_START=0
+phase_start() {
+  echo "== $1 =="
+  TIMING_NAMES+=("$1")
+  PHASE_START=$(date +%s)
+}
+phase_end() {
+  TIMING_SECS+=("$(( $(date +%s) - PHASE_START ))")
+}
 
-echo "== build =="
+CMAKE_LAUNCHER_ARGS=()
+if command -v ccache >/dev/null; then
+  CMAKE_LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+phase_start "configure"
+cmake -B "$BUILD_DIR" -S . "${CMAKE_LAUNCHER_ARGS[@]}" >/dev/null
+phase_end
+
+phase_start "build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+phase_end
 
-echo "== ctest =="
+phase_start "ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+phase_end
 
-echo "== pipeline smoke (tiny scale) =="
+phase_start "pipeline smoke (tiny scale)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 export SAFELIGHT_SCALE=tiny
@@ -39,16 +62,34 @@ start=$(date +%s)
 "$FIG7" >"$SMOKE_DIR/fig7_cached.log"
 elapsed=$(( $(date +%s) - start ))
 echo "cached fig7 re-run: ${elapsed}s"
+phase_end
+
+phase_start "detection smoke (tiny scale)"
+FIG_DETECT="$(cd "$BUILD_DIR" && pwd)/bench/fig_detection"
+"$FIG_DETECT" >"$SMOKE_DIR/fig_detection.log"
+test -s "$SMOKE_DIR/out/fig_detection.csv"
+test -s "$SMOKE_DIR/out/fig_detection_roc.csv"
+ls "$SMOKE_DIR/zoo/"*.detect.csv >/dev/null  # detection stores were written
+phase_end
 
 # Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with
 # the prefix cache A/B, exercised end to end when the bench stack is built.
 if [[ -x "$BUILD_DIR/bench/microbench" ]] && command -v python3 >/dev/null; then
-  echo "== bench report smoke =="
+  phase_start "bench report smoke"
   unset SAFELIGHT_SCALE SAFELIGHT_SEEDS SAFELIGHT_ZOO SAFELIGHT_OUT
   scripts/bench_report.sh --smoke "$BUILD_DIR"
   test -s "$BUILD_DIR/bench_report_smoke.json"
+  phase_end
 else
   echo "== bench report smoke skipped (microbench or python3 missing) =="
 fi
 
 echo "== all checks passed =="
+echo
+echo "== timing summary =="
+for i in "${!TIMING_NAMES[@]}"; do
+  printf '  %-32s %4ss\n' "${TIMING_NAMES[$i]}" "${TIMING_SECS[$i]}"
+done
+if command -v ccache >/dev/null; then
+  echo "  ccache: $(ccache -s | grep -E 'Hits|hit rate' | head -2 | tr -s ' ' | tr '\n' ' ' || true)"
+fi

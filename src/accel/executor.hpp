@@ -27,11 +27,22 @@
 namespace safelight::accel {
 
 /// Hook invoked after each MR-mapped layer's forward pass; used by attack
-/// models that corrupt the electronic read-out (e.g. compromised ADCs).
-/// Arguments: the layer's output tensor (mutable), the block that computed
-/// it, and the ADC full-scale magnitude chosen for the tensor.
+/// models that corrupt the electronic read-out (e.g. compromised ADCs) and
+/// by defense monitors that sample it. Arguments: the layer's output tensor
+/// (mutable), the block that computed it, and the ADC full-scale magnitude
+/// chosen for the tensor.
 using ReadoutHook =
     std::function<void(nn::Tensor&, BlockKind, float full_scale)>;
+
+/// How a registered read-out hook interacts with the activations it sees.
+/// The distinction drives the prefix-activation cache: a mutating hook
+/// (ADC trojan payload) corrupts the outputs of clean layers too, so cached
+/// clean activations would be wrong and the sweep must take the slow path.
+/// An observing hook (range monitor, telemetry tap) leaves every tensor
+/// untouched, so cached prefixes stay valid — but note that a prefix-cached
+/// evaluation resumes after the cached boundary, so observers only see the
+/// mapped layers at or after it.
+enum class ReadoutHookKind { kMutating, kObserving };
 
 struct ExecutorOptions {
   bool quantize_weights = true;      // DAC resolution on imprinted weights
@@ -83,11 +94,25 @@ class OnnExecutor {
                        const std::vector<nn::Tensor>& prefix,
                        std::size_t batch_size = 64) const;
 
-  /// Installs (or clears, with nullptr) a read-out corruption hook. While a
-  /// hook is installed, forward() walks the model layer by layer even when
-  /// activation quantization is off.
-  void set_readout_hook(ReadoutHook hook) { readout_hook_ = std::move(hook); }
+  /// Installs (or clears, with nullptr) a read-out hook. While a hook is
+  /// installed, forward() walks the model layer by layer even when
+  /// activation quantization is off. `kind` defaults to kMutating (the safe
+  /// assumption); register monitors that never modify the tensor as
+  /// kObserving so accuracy sweeps keep their prefix-activation cache.
+  void set_readout_hook(ReadoutHook hook,
+                        ReadoutHookKind kind = ReadoutHookKind::kMutating) {
+    readout_hook_ = std::move(hook);
+    readout_hook_kind_ = kind;
+  }
   bool has_readout_hook() const { return static_cast<bool>(readout_hook_); }
+
+  /// True when an installed hook may modify activations (the condition that
+  /// invalidates cached clean prefixes; see core::AttackEvaluator).
+  bool has_mutating_readout_hook() const {
+    return has_readout_hook() &&
+           readout_hook_kind_ == ReadoutHookKind::kMutating;
+  }
+  ReadoutHookKind readout_hook_kind() const { return readout_hook_kind_; }
 
  private:
   /// Shared layer walk over [begin_layer, end_layer): plain forwards plus,
@@ -102,6 +127,7 @@ class OnnExecutor {
   AcceleratorConfig config_;
   ExecutorOptions options_;
   ReadoutHook readout_hook_;
+  ReadoutHookKind readout_hook_kind_ = ReadoutHookKind::kMutating;
 };
 
 }  // namespace safelight::accel

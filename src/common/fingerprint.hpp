@@ -32,6 +32,9 @@ class Fingerprint {
   /// Full 64-bit digest as 16 hex chars (content checksums).
   std::string hex16() const;
 
+  /// Raw 64-bit digest (seed derivation from string identifiers).
+  std::uint64_t value() const { return h_; }
+
  private:
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };

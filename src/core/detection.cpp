@@ -1,0 +1,397 @@
+#include "core/detection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/evaluation.hpp"
+#include "core/result_store.hpp"
+#include "nn/serialize.hpp"
+
+namespace safelight::core {
+
+namespace {
+
+/// One deployment to check: a clean run or an attack scenario.
+struct RunSpec {
+  std::string id;
+  bool clean = false;
+  attack::AttackScenario scenario{};
+  std::uint64_t probe_seed = 0;
+};
+
+/// Conditions the model before the mapping captures its scales (mirrors
+/// AttackEvaluator's member-init helper).
+nn::Sequential& conditioned(const accel::OnnExecutor& executor,
+                            nn::Sequential& model) {
+  executor.condition_weights(model);
+  return model;
+}
+
+/// Per-worker detection engine: one conditioned deployment, one calibrated
+/// suite, checked against many runs. Calibration is deterministic in
+/// (setup, weights, suite config, base_seed), so every worker's suite is
+/// identical and results never depend on the fan-out partitioning.
+class DetectionEvaluator {
+ public:
+  DetectionEvaluator(const ExperimentSetup& setup, nn::Sequential& model,
+                     const DetectionOptions& options)
+      : setup_(setup),
+        model_(model),
+        executor_(setup.accelerator),
+        mapping_(conditioned(executor_, model), setup.accelerator),
+        clean_snapshot_(nn::snapshot_state(model)),
+        suite_(setup, options.suite),
+        options_(options) {
+    const defense::DeploymentView clean{
+        model_, executor_, nullptr,
+        seed_combine(options_.base_seed, 0xCA11B)};
+    suite_.calibrate(clean);
+  }
+
+  /// Checks every detector against one run; results in suite order.
+  std::vector<defense::DetectionResult> run(const RunSpec& spec) {
+    nn::restore_state(model_, clean_snapshot_);
+    std::vector<attack::BlockThermalState> telemetry;
+    if (!spec.clean) {
+      attack::apply_attack(mapping_, spec.scenario, options_.corruption);
+      telemetry = defense::scenario_telemetry(
+          setup_.accelerator, spec.scenario, options_.corruption);
+    }
+    const defense::DeploymentView view{
+        model_, executor_, telemetry.empty() ? nullptr : &telemetry,
+        spec.probe_seed};
+    std::vector<defense::DetectionResult> results = suite_.check_all(view);
+    nn::restore_state(model_, clean_snapshot_);
+    return results;
+  }
+
+  defense::DetectorSuite& suite() { return suite_; }
+
+ private:
+  ExperimentSetup setup_;
+  nn::Sequential& model_;
+  accel::OnnExecutor executor_;
+  accel::WeightStationaryMapping mapping_;
+  std::vector<nn::Tensor> clean_snapshot_;
+  defense::DetectorSuite suite_;
+  DetectionOptions options_;
+};
+
+/// Probe seed of a run, derived from its full id so every run — including
+/// same-placement scenarios at different intensities — reads independent
+/// sensor noise, and so a cached score is a pure function of the run id.
+std::uint64_t probe_seed_of(const std::string& run_id) {
+  Fingerprint fp;
+  fp.mix_bytes(run_id.data(), run_id.size());
+  return splitmix64(fp.value());
+}
+
+std::string score_key(const RunSpec& spec, const std::string& detector) {
+  return spec.id + "/" + detector + "/score";
+}
+std::string probes_key(const RunSpec& spec, const std::string& detector) {
+  return spec.id + "/" + detector + "/probes";
+}
+std::string latency_key(const RunSpec& spec, const std::string& detector) {
+  return spec.id + "/" + detector + "/latency";
+}
+
+}  // namespace
+
+std::vector<double> DetectionReport::clean_scores(
+    const std::string& detector) const {
+  std::vector<double> out;
+  for (const DetectionRow& row : rows) {
+    if (row.clean && row.detector == detector) out.push_back(row.score);
+  }
+  return out;
+}
+
+std::vector<double> DetectionReport::attack_scores(
+    const std::string& detector, std::optional<attack::AttackVector> vector,
+    double min_fraction) const {
+  std::vector<double> out;
+  for (const DetectionRow& row : rows) {
+    if (row.clean || row.detector != detector) continue;
+    if (vector.has_value() && row.scenario.vector != *vector) continue;
+    if (row.scenario.fraction < min_fraction - 1e-12) continue;
+    out.push_back(row.score);
+  }
+  return out;
+}
+
+double DetectionReport::false_positive_rate(
+    const std::string& detector) const {
+  std::size_t total = 0;
+  std::size_t flagged = 0;
+  for (const DetectionRow& row : rows) {
+    if (!row.clean || row.detector != detector) continue;
+    ++total;
+    if (row.flagged) ++flagged;
+  }
+  require(total > 0, "DetectionReport: no clean runs for '" + detector + "'");
+  return static_cast<double>(flagged) / static_cast<double>(total);
+}
+
+double DetectionReport::true_positive_rate(
+    const std::string& detector, std::optional<attack::AttackVector> vector,
+    double min_fraction) const {
+  std::size_t total = 0;
+  std::size_t flagged = 0;
+  for (const DetectionRow& row : rows) {
+    if (row.clean || row.detector != detector) continue;
+    if (vector.has_value() && row.scenario.vector != *vector) continue;
+    if (row.scenario.fraction < min_fraction - 1e-12) continue;
+    ++total;
+    if (row.flagged) ++flagged;
+  }
+  require(total > 0,
+          "DetectionReport: no attack runs match the filter for '" +
+              detector + "'");
+  return static_cast<double>(flagged) / static_cast<double>(total);
+}
+
+double DetectionReport::auc(const std::string& detector,
+                            std::optional<attack::AttackVector> vector,
+                            double min_fraction) const {
+  return rank_auc(clean_scores(detector),
+                  attack_scores(detector, vector, min_fraction));
+}
+
+RocCurve DetectionReport::roc(const std::string& detector,
+                              std::optional<attack::AttackVector> vector,
+                              double min_fraction) const {
+  const std::vector<double> clean = clean_scores(detector);
+  const std::vector<double> attack =
+      attack_scores(detector, vector, min_fraction);
+  require(!clean.empty() && !attack.empty(),
+          "DetectionReport: ROC needs both clean and attack runs");
+
+  // Operating points at every distinct observed score (descending), so the
+  // curve starts at "flag nothing" and a final below-minimum threshold
+  // closes it at "flag everything" = (1, 1).
+  std::set<double> distinct(clean.begin(), clean.end());
+  distinct.insert(attack.begin(), attack.end());
+  std::vector<double> thresholds(distinct.rbegin(), distinct.rend());
+  thresholds.push_back(*distinct.begin() - 1.0);
+
+  const auto flagged_fraction = [](const std::vector<double>& scores,
+                                   double threshold) {
+    std::size_t flagged = 0;
+    for (double s : scores) {
+      if (s > threshold) ++flagged;
+    }
+    return static_cast<double>(flagged) / static_cast<double>(scores.size());
+  };
+
+  RocCurve curve;
+  curve.detector = detector;
+  curve.points.reserve(thresholds.size());
+  for (double t : thresholds) {
+    curve.points.push_back(
+        {t, flagged_fraction(attack, t), flagged_fraction(clean, t)});
+  }
+  curve.auc = rank_auc(clean, attack);
+  return curve;
+}
+
+BoxStats DetectionReport::detection_latency(
+    const std::string& detector) const {
+  std::vector<double> latencies;
+  for (const DetectionRow& row : rows) {
+    if (row.clean || row.detector != detector || !row.flagged) continue;
+    latencies.push_back(static_cast<double>(row.first_flag_probe));
+  }
+  require(!latencies.empty(),
+          "DetectionReport: '" + detector + "' flagged no attack run");
+  return box_stats(latencies);
+}
+
+double rank_auc(const std::vector<double>& clean_scores,
+                const std::vector<double>& attack_scores) {
+  require(!clean_scores.empty() && !attack_scores.empty(),
+          "rank_auc: need scores of both classes");
+  double wins = 0.0;
+  for (double a : attack_scores) {
+    for (double c : clean_scores) {
+      if (a > c) {
+        wins += 1.0;
+      } else if (a == c) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(clean_scores.size()) *
+                 static_cast<double>(attack_scores.size()));
+}
+
+DetectionReport run_detection_sweep(
+    const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
+    const std::vector<attack::AttackScenario>& grid,
+    const DetectionOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  require(options.clean_runs > 0,
+          "run_detection_sweep: need >= 1 clean run for the ROC negatives");
+
+  // Train (or load) on the calling thread; workers only load cache entries.
+  auto model = zoo.get_or_train(setup, variant, options.verbose);
+  const std::string checksum = weights_checksum(*model);
+
+  // The reference suite provides detector names and default thresholds for
+  // report assembly; workers calibrate their own identical copies.
+  defense::DetectorSuite reference(setup, options.suite);
+  const std::vector<std::string> detector_names = reference.names();
+
+  std::string csv_path;
+  if (!options.cache_dir.empty()) {
+    std::filesystem::create_directories(options.cache_dir);
+    csv_path = options.cache_dir + "/" + setup.tag() + "_" + variant.name +
+               "_" + checksum + "_" +
+               attack::config_fingerprint(options.corruption) + "_" +
+               defense::config_fingerprint(options.suite) + ".detect.csv";
+  }
+  ResultStore store(csv_path);
+
+  // Run list: clean deployments first (probe seeds derived from base_seed),
+  // then the attack grid in grid order.
+  std::vector<RunSpec> runs;
+  runs.reserve(options.clean_runs + grid.size());
+  for (std::size_t k = 0; k < options.clean_runs; ++k) {
+    RunSpec spec;
+    spec.id = "clean/c" + std::to_string(k) + "/b" +
+              std::to_string(options.base_seed);
+    spec.clean = true;
+    spec.probe_seed = probe_seed_of(spec.id);
+    runs.push_back(spec);
+  }
+  for (const attack::AttackScenario& scenario : grid) {
+    scenario.validate();
+    RunSpec spec;
+    spec.id = scenario.id();
+    spec.scenario = scenario;
+    spec.probe_seed = probe_seed_of(spec.id);
+    runs.push_back(spec);
+  }
+
+  // Uncached runs, deduplicated (a grid may repeat an id; a previous
+  // interrupted sweep may have persisted a prefix). A run only counts as
+  // cached when *every* one of its keys made it to disk — an interrupt can
+  // land between the per-detector flushes, and a partially stored run must
+  // re-check rather than crash report assembly on the missing keys.
+  const auto fully_stored = [&](const RunSpec& spec) {
+    for (const std::string& name : detector_names) {
+      if (!store.contains(score_key(spec, name)) ||
+          !store.contains(probes_key(spec, name)) ||
+          !store.contains(latency_key(spec, name))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<std::size_t> pending;
+  std::set<std::string> fresh_ids;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!fully_stored(runs[i]) && fresh_ids.insert(runs[i].id).second) {
+      pending.push_back(i);
+    }
+  }
+
+  const auto evaluate_range = [&](DetectionEvaluator& evaluator,
+                                  std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      const RunSpec& spec = runs[pending[p]];
+      const std::vector<defense::DetectionResult> results =
+          evaluator.run(spec);
+      for (const defense::DetectionResult& r : results) {
+        store.put(score_key(spec, r.detector), r.score);
+        store.put(probes_key(spec, r.detector),
+                  static_cast<double>(r.probes));
+        store.put(latency_key(spec, r.detector),
+                  static_cast<double>(r.first_flag_probe));
+        if (options.verbose) {
+          std::printf("  [detect] %-32s %-16s score %.4f%s\n",
+                      spec.id.c_str(), r.detector.c_str(), r.score,
+                      r.flagged ? "  FLAGGED" : "");
+          std::fflush(stdout);
+        }
+      }
+    }
+  };
+
+  if (!pending.empty()) {
+    std::size_t workers = worker_count();
+    if (options.max_workers > 0) workers = std::min(workers, options.max_workers);
+    if (pending.size() < workers * 2) {
+      // Too few runs to keep a fan-out busy: check inline; the probe
+      // forwards inside still parallelize.
+      DetectionEvaluator evaluator(setup, *model, options);
+      evaluate_range(evaluator, 0, pending.size());
+    } else {
+      const std::size_t grain = (pending.size() + workers - 1) / workers;
+      parallel_for_chunks(
+          0, pending.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            // Checks corrupt and restore model weights, so every worker
+            // deploys a private copy (a zoo cache load).
+            auto worker_model = zoo.get_or_train(setup, variant, false);
+            DetectionEvaluator evaluator(setup, *worker_model, options);
+            evaluate_range(evaluator, lo, hi);
+          },
+          grain);
+    }
+  }
+
+  // Assemble in run order; execution order never leaks into the report.
+  DetectionReport report;
+  report.variant = variant.name;
+  report.detectors = detector_names;
+  report.clean_runs = options.clean_runs;
+  report.evaluated = pending.size();
+  report.rows.reserve(runs.size() * detector_names.size());
+  for (const RunSpec& spec : runs) {
+    const bool fresh = fresh_ids.count(spec.id) != 0;
+    if (!fresh) ++report.cache_hits;
+    for (const std::string& name : detector_names) {
+      const auto score = store.lookup(score_key(spec, name));
+      const auto probes = store.lookup(probes_key(spec, name));
+      const auto latency = store.lookup(latency_key(spec, name));
+      SAFELIGHT_ASSERT(score && probes && latency,
+                       "detection sweep: result missing after fan-out");
+      DetectionRow row;
+      row.run_id = spec.id;
+      row.clean = spec.clean;
+      row.scenario = spec.scenario;
+      row.detector = name;
+      row.score = *score;
+      row.flagged = *score > reference.detector(name).threshold();
+      row.probes = static_cast<std::size_t>(std::llround(*probes));
+      row.first_flag_probe = static_cast<std::size_t>(std::llround(*latency));
+      row.from_cache = !fresh;
+      report.rows.push_back(std::move(row));
+    }
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+DetectionReport run_detection_sweep(const ExperimentSetup& setup,
+                                    ModelZoo& zoo, const VariantSpec& variant,
+                                    const DetectionOptions& options) {
+  return run_detection_sweep(
+      setup, zoo, variant,
+      attack::paper_scenario_grid(options.seed_count, options.base_seed),
+      options);
+}
+
+}  // namespace safelight::core

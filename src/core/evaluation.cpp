@@ -110,9 +110,11 @@ const std::vector<nn::Tensor>& AttackEvaluator::prefix_for(std::size_t layer) {
 }
 
 double AttackEvaluator::evaluate_attacked() {
-  // A read-out hook corrupts the outputs of *clean* layers too, so cached
-  // clean activations would be wrong.
-  if (!prefix_cache_enabled_ || executor_.has_readout_hook()) {
+  // A mutating read-out hook (ADC trojan) corrupts the outputs of *clean*
+  // layers too, so cached clean activations would be wrong. Observing hooks
+  // (range monitors, telemetry taps) never modify activations and keep the
+  // cache valid — they just see only the layers after the resume boundary.
+  if (!prefix_cache_enabled_ || executor_.has_mutating_readout_hook()) {
     return executor_.evaluate(model_, eval_data_, kEvalBatch);
   }
   const std::size_t dirty = first_dirty_layer();

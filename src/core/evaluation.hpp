@@ -18,8 +18,9 @@
 // clean snapshot), computes the clean activations at that boundary once per
 // boundary, and resumes every scenario's forward there — bitwise-identical
 // to a full forward, and free of the conv-stack cost for FC-only attacks.
-// Caching is disabled while a read-out hook is installed (the hook corrupts
-// even clean-prefix layers) and can be turned off globally with
+// Caching is disabled while a *mutating* read-out hook is installed (the
+// hook corrupts even clean-prefix layers); observing hooks (defense range
+// monitors) keep it active. It can be turned off globally with
 // SAFELIGHT_PREFIX_CACHE=0 (the A/B switch scripts/bench_report.sh uses).
 #pragma once
 
@@ -74,6 +75,12 @@ class AttackEvaluator {
   std::size_t prefix_boundaries() const { return prefix_cache_.size(); }
 
   const ExperimentSetup& setup() const { return setup_; }
+
+  /// The evaluator's executor, exposed so callers can install read-out
+  /// hooks (ADC attack payloads, defense monitors). Hooks registered as
+  /// ReadoutHookKind::kObserving keep the prefix cache active; mutating
+  /// hooks force plain evaluation (see evaluate_attacked).
+  accel::OnnExecutor& executor() { return executor_; }
 
  private:
   std::string cache_key(const std::string& scenario_id) const;

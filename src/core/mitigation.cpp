@@ -12,12 +12,19 @@ const VariantOutcome& MitigationReport::best_robust() const {
   const VariantOutcome* best = nullptr;
   for (const auto& outcome : outcomes) {
     if (outcome.variant.is_original()) continue;
-    if (best == nullptr ||
-        outcome.under_attack.median > best->under_attack.median ||
-        (outcome.under_attack.median == best->under_attack.median &&
-         outcome.under_attack.min > best->under_attack.min)) {
-      best = &outcome;
-    }
+    // Documented ordering: median under attack, then worst case (min),
+    // then lexicographically smallest name — so the winner never depends
+    // on the order the variants were swept in.
+    const auto better = [&](const VariantOutcome& candidate) {
+      if (candidate.under_attack.median != best->under_attack.median) {
+        return candidate.under_attack.median > best->under_attack.median;
+      }
+      if (candidate.under_attack.min != best->under_attack.min) {
+        return candidate.under_attack.min > best->under_attack.min;
+      }
+      return candidate.variant.name < best->variant.name;
+    };
+    if (best == nullptr || better(outcome)) best = &outcome;
   }
   require(best != nullptr, "MitigationReport: no robust variants evaluated");
   return *best;

@@ -1,0 +1,79 @@
+#include "defense/canary.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+
+namespace safelight::defense {
+
+void CanaryConfig::validate() const {
+  require(canary_count > 0, "CanaryConfig: need >= 1 canary");
+  require(signature_bits >= 1 && signature_bits <= 24,
+          "CanaryConfig: signature_bits must be in [1, 24]");
+}
+
+CanaryProbeDetector::CanaryProbeDetector(nn::Dataset canaries,
+                                         CanaryConfig config)
+    : Detector(/*default_threshold=*/0.0),
+      canaries_(std::move(canaries)),
+      config_(config) {
+  config_.validate();
+  require(canaries_.size() > 0, "CanaryProbeDetector: empty canary set");
+}
+
+std::string CanaryProbeDetector::signature(const DeploymentView& view,
+                                           std::size_t index) const {
+  require(index < canaries_.size(), "CanaryProbeDetector: canary out of range");
+
+  // One fingerprint per canary, folding every mapped layer's quantized
+  // read-out in walk order. The hook only observes, so it is registered as
+  // such — a canary pass must never perturb the deployment it measures.
+  Fingerprint fp;
+  const double levels = static_cast<double>(1u << config_.signature_bits);
+  std::size_t layer_ordinal = 0;
+  const ScopedObservingHook hook(
+      view.executor,
+      [&fp, &layer_ordinal, levels](nn::Tensor& t, accel::BlockKind,
+                                    float full_scale) {
+        fp.mix_u64(layer_ordinal++);
+        const double inv =
+            full_scale > 0.0f ? 1.0 / static_cast<double>(full_scale) : 0.0;
+        for (std::size_t i = 0; i < t.numel(); ++i) {
+          const double normalized = static_cast<double>(t[i]) * inv;
+          const auto q = static_cast<std::int64_t>(
+              std::llround(normalized * levels));
+          fp.mix_u64(static_cast<std::uint64_t>(q + (1 << 24)));
+        }
+      });
+
+  auto [image, label] = canaries_.batch(index, index + 1);
+  (void)label;
+  (void)view.executor.forward(view.model, image);
+  return fp.hex16();
+}
+
+void CanaryProbeDetector::calibrate(const DeploymentView& clean) {
+  clean_signatures_.clear();
+  clean_signatures_.reserve(canaries_.size());
+  for (std::size_t i = 0; i < canaries_.size(); ++i) {
+    clean_signatures_.push_back(signature(clean, i));
+  }
+}
+
+DetectionResult CanaryProbeDetector::check(const DeploymentView& view) {
+  SAFELIGHT_ASSERT(calibrated(), "CanaryProbeDetector: check before calibrate");
+  std::size_t mismatches = 0;
+  std::size_t first_mismatch = 0;
+  for (std::size_t i = 0; i < canaries_.size(); ++i) {
+    if (signature(view, i) != clean_signatures_[i]) {
+      if (mismatches == 0) first_mismatch = i + 1;
+      ++mismatches;
+    }
+  }
+  const double score = static_cast<double>(mismatches) /
+                       static_cast<double>(canaries_.size());
+  return make_result(score, canaries_.size(), first_mismatch);
+}
+
+}  // namespace safelight::defense

@@ -1,0 +1,59 @@
+// Canary probe detector: recomputation signatures over held-out inputs.
+//
+// At deployment time a small set of held-out calibration images (the
+// canaries) is pushed through the mapped accelerator and every MR-mapped
+// layer's read-out is folded into one fingerprint per canary
+// (common/fingerprint over ADC-resolution-quantized outputs). Periodic
+// re-checks recompute the signatures on the live hardware: any parked
+// actuation ring or thermally shifted bank that changes a mapped weight
+// changes the read-out of every canary that exercises it, so the signature
+// chain diverges. Execution is deterministic, so a clean re-check reproduces
+// the recorded fingerprints exactly — the detector's false-positive rate is
+// structurally zero.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "defense/detector.hpp"
+#include "nn/dataset.hpp"
+
+namespace safelight::defense {
+
+struct CanaryConfig {
+  /// Held-out probe images recorded at deployment (DetectorSuite sizes its
+  /// canary dataset with this; the default covers one probe per class).
+  std::size_t canary_count = 10;
+  /// Signature resolution: read-outs are quantized to +/- 2^bits levels of
+  /// their full scale before fingerprinting, modeling a digital signature
+  /// captured behind the ADC rather than an exact float recompute.
+  unsigned signature_bits = 12;
+
+  void validate() const;
+};
+
+/// See file comment. Score = fraction of canaries whose signature diverged;
+/// the default threshold of 0 flags the very first mismatch.
+class CanaryProbeDetector : public Detector {
+ public:
+  /// `canaries` are the held-out probe images; the detector copies them.
+  explicit CanaryProbeDetector(nn::Dataset canaries, CanaryConfig config = {});
+
+  std::string name() const override { return "canary"; }
+  void calibrate(const DeploymentView& clean) override;
+  bool calibrated() const override { return !clean_signatures_.empty(); }
+  DetectionResult check(const DeploymentView& view) override;
+
+  const CanaryConfig& config() const { return config_; }
+
+  /// Signature of canary `index` on the given deployment (exposed for
+  /// tests; check() compares these against the calibrated set).
+  std::string signature(const DeploymentView& view, std::size_t index) const;
+
+ private:
+  nn::Dataset canaries_;
+  CanaryConfig config_;
+  std::vector<std::string> clean_signatures_;  // one hex16 per canary
+};
+
+}  // namespace safelight::defense

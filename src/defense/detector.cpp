@@ -1,0 +1,31 @@
+#include "defense/detector.hpp"
+
+#include "common/error.hpp"
+
+namespace safelight::defense {
+
+ScopedObservingHook::ScopedObservingHook(accel::OnnExecutor& executor,
+                                         accel::ReadoutHook hook)
+    : executor_(executor) {
+  require(!executor_.has_readout_hook(),
+          "defense: executor already carries a read-out hook");
+  executor_.set_readout_hook(std::move(hook),
+                             accel::ReadoutHookKind::kObserving);
+}
+
+ScopedObservingHook::~ScopedObservingHook() {
+  executor_.set_readout_hook(nullptr);
+}
+
+DetectionResult Detector::make_result(double score, std::size_t probes,
+                                      std::size_t first_flag_probe) const {
+  DetectionResult result;
+  result.detector = name();
+  result.score = score;
+  result.flagged = score > threshold_;
+  result.probes = probes;
+  result.first_flag_probe = result.flagged ? first_flag_probe : 0;
+  return result;
+}
+
+}  // namespace safelight::defense

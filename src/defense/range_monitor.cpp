@@ -1,0 +1,160 @@
+#include "defense/range_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace safelight::defense {
+
+void RangeMonitorConfig::validate() const {
+  require(probe_count > 0, "RangeMonitorConfig: need >= 1 probe image");
+  require(check_count > 0, "RangeMonitorConfig: need >= 1 check image");
+  require(batch_size > 0, "RangeMonitorConfig: batch_size must be >= 1");
+  require(envelope_margin >= 0.0, "RangeMonitorConfig: margin must be >= 0");
+  require(saturation_level > 0.0 && saturation_level <= 1.0,
+          "RangeMonitorConfig: saturation level must be in (0, 1]");
+}
+
+RangeMonitorDetector::RangeMonitorDetector(nn::Dataset probes,
+                                           RangeMonitorConfig config)
+    : Detector(/*default_threshold=*/0.0),
+      probes_(std::move(probes)),
+      config_(config) {
+  config_.validate();
+  require(probes_.size() > 0, "RangeMonitorDetector: empty probe stream");
+}
+
+std::size_t RangeMonitorDetector::batch_count() const {
+  return (probes_.size() + config_.batch_size - 1) / config_.batch_size;
+}
+
+std::vector<ReadoutStats> RangeMonitorDetector::batch_stats(
+    const DeploymentView& view, std::size_t batch_index) const {
+  require(batch_index < batch_count(),
+          "RangeMonitorDetector: batch out of range");
+
+  std::vector<ReadoutStats> stats;
+  const double level = config_.saturation_level;
+  const ScopedObservingHook hook(
+      view.executor,
+      [&stats, level](nn::Tensor& t, accel::BlockKind, float full_scale) {
+        ReadoutStats s;
+        s.abs_max = static_cast<double>(full_scale);
+        double sum_abs = 0.0;
+        std::size_t saturated = 0;
+        const double cut = level * static_cast<double>(full_scale);
+        for (std::size_t i = 0; i < t.numel(); ++i) {
+          const double a = std::abs(static_cast<double>(t[i]));
+          sum_abs += a;
+          if (full_scale > 0.0f && a >= cut) ++saturated;
+        }
+        if (t.numel() > 0) {
+          s.mean_abs = sum_abs / static_cast<double>(t.numel());
+          s.saturation =
+              static_cast<double>(saturated) / static_cast<double>(t.numel());
+        }
+        stats.push_back(s);
+      });
+
+  const std::size_t begin = batch_index * config_.batch_size;
+  const std::size_t end =
+      std::min(probes_.size(), begin + config_.batch_size);
+  auto [images, labels] = probes_.batch(begin, end);
+  (void)labels;
+  (void)view.executor.forward(view.model, images);
+  return stats;
+}
+
+void RangeMonitorDetector::calibrate(const DeploymentView& clean) {
+  envelopes_.clear();
+  for (std::size_t b = 0; b < batch_count(); ++b) {
+    const std::vector<ReadoutStats> stats = batch_stats(clean, b);
+    SAFELIGHT_ASSERT(!stats.empty(),
+                     "RangeMonitorDetector: deployment has no mapped layers");
+    if (envelopes_.empty()) {
+      envelopes_.resize(stats.size());
+      for (std::size_t l = 0; l < stats.size(); ++l) {
+        const double metrics[3] = {stats[l].abs_max, stats[l].mean_abs,
+                                   stats[l].saturation};
+        for (int m = 0; m < 3; ++m) {
+          envelopes_[l].lo[m] = metrics[m];
+          envelopes_[l].hi[m] = metrics[m];
+        }
+      }
+      continue;
+    }
+    SAFELIGHT_ASSERT(stats.size() == envelopes_.size(),
+                     "RangeMonitorDetector: mapped layer count changed");
+    for (std::size_t l = 0; l < stats.size(); ++l) {
+      const double metrics[3] = {stats[l].abs_max, stats[l].mean_abs,
+                                 stats[l].saturation};
+      for (int m = 0; m < 3; ++m) {
+        envelopes_[l].lo[m] = std::min(envelopes_[l].lo[m], metrics[m]);
+        envelopes_[l].hi[m] = std::max(envelopes_[l].hi[m], metrics[m]);
+      }
+    }
+  }
+}
+
+double RangeMonitorDetector::violation(
+    const std::vector<ReadoutStats>& stats) const {
+  // A changed mapped-layer count means the deployment no longer matches the
+  // calibrated architecture — maximally anomalous by definition.
+  if (stats.size() != envelopes_.size()) {
+    return 1.0 / std::numeric_limits<double>::epsilon();
+  }
+  double worst = 0.0;
+  for (std::size_t l = 0; l < stats.size(); ++l) {
+    const double metrics[3] = {stats[l].abs_max, stats[l].mean_abs,
+                               stats[l].saturation};
+    for (int m = 0; m < 3; ++m) {
+      const double lo = envelopes_[l].lo[m];
+      const double hi = envelopes_[l].hi[m];
+      // Excursions are measured in units of the envelope width, floored at
+      // 5 % of the envelope's magnitude so a degenerate (constant-metric)
+      // envelope does not amplify numeric dust into detections.
+      const double floor_abs =
+          std::max(0.05 * std::max(std::abs(lo), std::abs(hi)), 1e-9);
+      const double denom = std::max(hi - lo, floor_abs);
+      const double widened_lo = lo - config_.envelope_margin * denom;
+      const double widened_hi = hi + config_.envelope_margin * denom;
+      const double v = metrics[m];
+      if (v > widened_hi) worst = std::max(worst, (v - widened_hi) / denom);
+      if (v < widened_lo) worst = std::max(worst, (widened_lo - v) / denom);
+    }
+  }
+  return worst;
+}
+
+DetectionResult RangeMonitorDetector::check(const DeploymentView& view) {
+  SAFELIGHT_ASSERT(calibrated(),
+                   "RangeMonitorDetector: check before calibrate");
+  // The checked subset is a probe_seed-picked sample of the calibration
+  // batches: distinct checks monitor distinct traffic, yet every clean
+  // batch is inside the calibrated envelope by construction.
+  Rng rng(seed_combine(view.probe_seed, 0x5A9E));
+  const std::vector<std::size_t> order = rng.permutation(batch_count());
+  const std::size_t check_batches = std::min(
+      batch_count(),
+      (std::min(config_.check_count, probes_.size()) + config_.batch_size - 1) /
+          config_.batch_size);
+
+  double score = 0.0;
+  std::size_t probes = 0;
+  std::size_t first_flag = 0;
+  for (std::size_t k = 0; k < check_batches; ++k) {
+    const std::size_t b = order[k];
+    const std::size_t begin = b * config_.batch_size;
+    const std::size_t end =
+        std::min(probes_.size(), begin + config_.batch_size);
+    probes += end - begin;
+    score = std::max(score, violation(batch_stats(view, b)));
+    if (first_flag == 0 && score > threshold()) first_flag = probes;
+  }
+  return make_result(score, probes, first_flag);
+}
+
+}  // namespace safelight::defense

@@ -1,0 +1,93 @@
+#include "defense/thermal_sentinel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace safelight::defense {
+
+void ThermalSentinelConfig::validate() const {
+  require(sites_per_unit > 0, "ThermalSentinelConfig: need >= 1 site per unit");
+  require(sensor_noise_k >= 0.0,
+          "ThermalSentinelConfig: sensor noise must be >= 0");
+  require(threshold_k > 0.0,
+          "ThermalSentinelConfig: threshold must be positive");
+}
+
+ThermalSentinelDetector::ThermalSentinelDetector(
+    const accel::AcceleratorConfig& accel, ThermalSentinelConfig config)
+    : Detector(config.threshold_k), accel_(accel), config_(config) {
+  config_.validate();
+  accel_.validate();
+  // Sentinels spread evenly over each unit's bank tiles, both blocks.
+  for (const accel::BlockKind kind :
+       {accel::BlockKind::kConv, accel::BlockKind::kFc}) {
+    const accel::BlockDims& dims = accel_.block(kind);
+    const std::size_t per_unit =
+        std::min(config_.sites_per_unit, dims.banks_per_unit);
+    for (std::size_t unit = 0; unit < dims.units; ++unit) {
+      for (std::size_t s = 0; s < per_unit; ++s) {
+        SentinelSite site;
+        site.block = kind;
+        site.unit = unit;
+        site.bank = (s + 1) * dims.banks_per_unit / (per_unit + 1);
+        sites_.push_back(site);
+      }
+    }
+  }
+  SAFELIGHT_ASSERT(!sites_.empty(), "ThermalSentinelDetector: no sites");
+}
+
+double ThermalSentinelDetector::site_reading(const DeploymentView& view,
+                                             std::size_t index) const {
+  require(index < sites_.size(), "ThermalSentinelDetector: site out of range");
+  const SentinelSite& site = sites_[index];
+
+  double delta_t = 0.0;  // ambient: no telemetry or thermally idle block
+  if (view.thermal != nullptr) {
+    for (const attack::BlockThermalState& state : *view.thermal) {
+      if (state.block != site.block) continue;
+      // Sample the solved thermal grid at the site's floorplan cell — the
+      // same (unit, bank) -> tile map the hotspot planner injects power
+      // through, so the sensor sees exactly the physics it should.
+      const accel::BlockDims& dims = accel_.block(site.block);
+      const thermal::BlockFloorplan floorplan(dims.units, dims.banks_per_unit);
+      const auto [row, col] = floorplan.bank_cell(site.unit, site.bank);
+      delta_t = state.grid.delta_t(row, col);
+      break;
+    }
+  }
+  Rng noise(seed_combine(view.probe_seed, 0x7E47, index));
+  return delta_t + noise.gaussian(0.0, config_.sensor_noise_k);
+}
+
+void ThermalSentinelDetector::calibrate(const DeploymentView& clean) {
+  // The clean reference of a temperature sensor is ambient itself; the
+  // calibration pass just verifies the clean die reads below threshold —
+  // a configuration precondition (threshold vs. noise headroom), not an
+  // internal invariant.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    worst = std::max(worst, site_reading(clean, i));
+  }
+  require(worst <= threshold(),
+          "ThermalSentinelDetector: clean die already reads above the "
+          "detection threshold; raise threshold_k or lower sensor_noise_k");
+  calibrated_ = true;
+}
+
+DetectionResult ThermalSentinelDetector::check(const DeploymentView& view) {
+  SAFELIGHT_ASSERT(calibrated(),
+                   "ThermalSentinelDetector: check before calibrate");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    worst = std::max(worst, site_reading(view, i));
+  }
+  // One full sensor scan is a single probe: a sentinel flags (or not)
+  // within one inference-equivalent sampling period.
+  return make_result(std::max(0.0, worst), 1, 1);
+}
+
+}  // namespace safelight::defense

@@ -1,0 +1,72 @@
+// Thermal sentinels: on-die temperature sensors on the block floorplans.
+//
+// Heater-overdrive trojans dump tens of milliwatts into victim MR banks;
+// the resulting temperature field spreads over several bank tiles
+// (thermal/solver), so a sparse grid of sentinel sensors — a few per VDP
+// unit — sees a multi-Kelvin rise long before the tuning loops saturate
+// and accuracy degrades. The detector samples the solved thermal grid of
+// each block at its sentinel sites (plus Gaussian sensor read noise) and
+// scores the worst rise over ambient. Actuation attacks are electro-optic
+// and leave no thermal signature: this detector is blind to them by
+// physics, which is why the subsystem fields a detector *suite* rather
+// than a single monitor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "defense/detector.hpp"
+
+namespace safelight::defense {
+
+struct ThermalSentinelConfig {
+  /// Sentinel sensors per VDP unit, spread evenly over the unit's banks.
+  std::size_t sites_per_unit = 1;
+  /// Gaussian sensor read noise sigma [K] (models real on-die sensors and
+  /// decorrelates repeated clean checks).
+  double sensor_noise_k = 0.05;
+  /// Default decision threshold [K]: worst sentinel rise over ambient that
+  /// still counts as clean. Far above sensor noise, far below the
+  /// multi-Kelvin rises an overdriven heater produces, and below the
+  /// hardware quarantine trigger (QuarantineConfig::detect_threshold_k) so
+  /// detection fires before the mitigation must.
+  double threshold_k = 1.0;
+
+  void validate() const;
+};
+
+/// One sentinel sensor site on a block floorplan.
+struct SentinelSite {
+  accel::BlockKind block = accel::BlockKind::kConv;
+  std::size_t unit = 0;
+  std::size_t bank = 0;  // bank within the unit whose tile hosts the sensor
+};
+
+/// See file comment. Score = worst sentinel temperature rise over ambient
+/// [K] across both blocks.
+class ThermalSentinelDetector : public Detector {
+ public:
+  explicit ThermalSentinelDetector(const accel::AcceleratorConfig& accel,
+                                   ThermalSentinelConfig config = {});
+
+  std::string name() const override { return "thermal_sentinel"; }
+  void calibrate(const DeploymentView& clean) override;
+  bool calibrated() const override { return calibrated_; }
+  DetectionResult check(const DeploymentView& view) override;
+
+  const ThermalSentinelConfig& config() const { return config_; }
+  const std::vector<SentinelSite>& sites() const { return sites_; }
+
+  /// Noisy sensor reading [K above ambient] of site `index` under the
+  /// view's telemetry (exposed for tests).
+  double site_reading(const DeploymentView& view, std::size_t index) const;
+
+ private:
+  accel::AcceleratorConfig accel_;
+  ThermalSentinelConfig config_;
+  std::vector<SentinelSite> sites_;
+  bool calibrated_ = false;
+};
+
+}  // namespace safelight::defense

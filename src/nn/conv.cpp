@@ -1,6 +1,5 @@
 #include "nn/conv.hpp"
 
-#include <atomic>
 #include <vector>
 
 #include "common/error.hpp"
@@ -96,23 +95,29 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor grad_in(x.shape());
   const float* w = weight_.value.data();
 
-  // Per-chunk gradient accumulators avoid data races; with at most
-  // worker_count() chunks the merge cost is negligible.
-  const std::size_t workers = worker_count();
+  // Per-part gradient accumulators avoid data races. The batch splits
+  // into a *fixed* number of contiguous parts — independent of
+  // worker_count() — each summed serially and merged in part order, so
+  // the gradient's floating-point reduction order (and therefore every
+  // trained weight) is bitwise-identical for any SAFELIGHT_THREADS. The
+  // defense subsystem's detector scores amplify even 1-ULP weight
+  // differences, so thread-invariant training is part of the determinism
+  // contract, not a nicety.
+  constexpr std::size_t kGradParts = 8;
+  const std::size_t parts = std::min<std::size_t>(kGradParts, batch);
+  const std::size_t per_part = (batch + parts - 1) / parts;
   std::vector<Tensor> gw_parts;
   std::vector<Tensor> gb_parts;
-  for (std::size_t i = 0; i < workers; ++i) {
+  for (std::size_t i = 0; i < parts; ++i) {
     gw_parts.emplace_back(weight_.value.shape());
     gb_parts.emplace_back(Shape{out_c_});
   }
-  std::atomic<std::size_t> next_part{0};
 
-  parallel_for_chunks(
-      0, batch,
-      [&](std::size_t lo, std::size_t hi) {
-        const std::size_t part = next_part.fetch_add(1);
-        SAFELIGHT_ASSERT(part < gw_parts.size(),
-                         "Conv2d::backward: more chunks than workers");
+  parallel_for(
+      0, parts,
+      [&](std::size_t part) {
+        const std::size_t lo = part * per_part;
+        const std::size_t hi = std::min(batch, lo + per_part);
         float* gw = gw_parts[part].data();
         float* gb = gb_parts[part].data();
         ScratchArena& arena = ScratchArena::local();
@@ -141,7 +146,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       },
       1);
 
-  for (std::size_t i = 0; i < workers; ++i) {
+  for (std::size_t i = 0; i < parts; ++i) {
     weight_.grad += gw_parts[i];
     if (has_bias_) bias_.grad += gb_parts[i];
   }

@@ -1,10 +1,12 @@
 // Tests for the SafeLight core: experiment scaling, variants, zoo,
-// evaluation cache and report rendering.
+// evaluation cache, mitigation-report selection and report rendering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/evaluation.hpp"
+#include "core/mitigation.hpp"
 #include "core/report.hpp"
 #include "core/zoo.hpp"
 #include "nn/serialize.hpp"
@@ -256,6 +258,66 @@ TEST(Evaluator, ChecksumChangesWithWeights) {
   EXPECT_NE(weights_checksum(*a), checksum_a);
 }
 
+// ------------------------------------------------------------- mitigation
+
+/// Builds a VariantOutcome with the distribution knobs best_robust ranks on.
+VariantOutcome outcome_of(const std::string& name, double median,
+                          double min) {
+  VariantOutcome outcome;
+  outcome.variant.name = name;
+  outcome.under_attack.n = 3;
+  outcome.under_attack.median = median;
+  outcome.under_attack.min = min;
+  return outcome;
+}
+
+TEST(Mitigation, BestRobustPrefersHigherMedian) {
+  MitigationReport report;
+  report.outcomes.push_back(outcome_of("Original", 0.99, 0.99));
+  report.outcomes.push_back(outcome_of("l2+n1", 0.70, 0.10));
+  report.outcomes.push_back(outcome_of("l2+n2", 0.80, 0.05));
+  EXPECT_EQ(report.best_robust().variant.name, "l2+n2");
+}
+
+TEST(Mitigation, BestRobustBreaksMedianTiesByWorstCase) {
+  MitigationReport report;
+  report.outcomes.push_back(outcome_of("l2+n1", 0.80, 0.10));
+  report.outcomes.push_back(outcome_of("l2+n2", 0.80, 0.30));
+  report.outcomes.push_back(outcome_of("l2+n3", 0.80, 0.20));
+  EXPECT_EQ(report.best_robust().variant.name, "l2+n2");
+}
+
+TEST(Mitigation, BestRobustBreaksFullTiesByName) {
+  // Identical distributions: the lexicographically smallest name wins,
+  // independent of sweep order.
+  MitigationReport forward;
+  forward.outcomes.push_back(outcome_of("l2+n1", 0.80, 0.20));
+  forward.outcomes.push_back(outcome_of("l2+n2", 0.80, 0.20));
+  EXPECT_EQ(forward.best_robust().variant.name, "l2+n1");
+
+  MitigationReport reversed;
+  reversed.outcomes.push_back(outcome_of("l2+n2", 0.80, 0.20));
+  reversed.outcomes.push_back(outcome_of("l2+n1", 0.80, 0.20));
+  EXPECT_EQ(reversed.best_robust().variant.name, "l2+n1");
+}
+
+TEST(Mitigation, BestRobustIgnoresOriginalAndRejectsEmpty) {
+  MitigationReport original_only;
+  original_only.outcomes.push_back(outcome_of("Original", 0.99, 0.99));
+  EXPECT_THROW(original_only.best_robust(), std::invalid_argument);
+
+  MitigationReport empty;
+  EXPECT_THROW(empty.best_robust(), std::invalid_argument);
+}
+
+TEST(Mitigation, OutcomeLookupByNameThrowsOnUnknown) {
+  MitigationReport report;
+  report.outcomes.push_back(outcome_of("L2_reg", 0.85, 0.40));
+  EXPECT_EQ(report.outcome("L2_reg").under_attack.min, 0.40);
+  EXPECT_THROW(report.outcome("l2+n9"), std::invalid_argument);
+  EXPECT_THROW(report.outcome(""), std::invalid_argument);
+}
+
 // ---------------------------------------------------------------- report
 
 TEST(Report, TableAlignsColumns) {
@@ -272,6 +334,42 @@ TEST(Report, TableAlignsColumns) {
 TEST(Report, TableRejectsRaggedRows) {
   TextTable table({"a", "b"});
   EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"one", "two", "three"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({}), std::invalid_argument);
+  EXPECT_EQ(table.row_count(), 0u);  // rejected rows are not kept
+}
+
+TEST(Report, TableRendersHeaderOnlyWithZeroRows) {
+  TextTable table({"alpha", "beta"});
+  const std::string out = table.render();
+  EXPECT_EQ(table.row_count(), 0u);
+  // Header line + underline, nothing else.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Report, TableAutoSizesToWideCells) {
+  TextTable table({"k", "v"});
+  const std::string wide(40, 'x');
+  table.add_row({wide, "1"});
+  table.add_row({"s", "2"});
+  const std::string out = table.render();
+
+  // Every line is padded to the widest cell: the header line, the
+  // underline and both rows all span the 40-char column.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_GE(lines[1].size(), wide.size());  // underline spans the column
+  EXPECT_NE(lines[2].find(wide), std::string::npos);
+  // The short row is padded out to the same column width.
+  EXPECT_EQ(lines[3].find('2'), lines[2].find('1'));
 }
 
 TEST(Report, PercentFormatting) {
