@@ -40,9 +40,21 @@ phase_start "build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 phase_end
 
-phase_start "ctest"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
-phase_end
+# The suite runs as three labelled shards (labels assigned per test binary
+# in tests/CMakeLists.txt) so the timing summary shows where test time goes
+# and cheap shards fail fast before the sweep-driving ones start.
+for shard in unit integration sweep-smoke; do
+  phase_start "ctest ($shard)"
+  ctest --test-dir "$BUILD_DIR" -L "^${shard}$" --output-on-failure -j "$(nproc)"
+  phase_end
+done
+# Every test must belong to exactly one shard; an unlabelled test would
+# silently never run above.
+UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
+if [[ "$UNLABELLED" != "0" ]]; then
+  echo "error: $UNLABELLED ctest case(s) carry no shard label" >&2
+  exit 1
+fi
 
 phase_start "pipeline smoke (tiny scale)"
 SMOKE_DIR="$(mktemp -d)"
@@ -70,6 +82,18 @@ FIG_DETECT="$(cd "$BUILD_DIR" && pwd)/bench/fig_detection"
 test -s "$SMOKE_DIR/out/fig_detection.csv"
 test -s "$SMOKE_DIR/out/fig_detection_roc.csv"
 ls "$SMOKE_DIR/zoo/"*.detect.csv >/dev/null  # detection stores were written
+phase_end
+
+phase_start "campaign smoke (tiny scale)"
+FIG_CAMPAIGN="$(cd "$BUILD_DIR" && pwd)/bench/fig_campaign"
+"$FIG_CAMPAIGN" >"$SMOKE_DIR/fig_campaign.log"
+test -s "$SMOKE_DIR/out/fig_campaign.csv"
+test -s "$SMOKE_DIR/out/fig_campaign_phases.csv"
+ls "$SMOKE_DIR/zoo/"*.campaign.csv >/dev/null  # campaign stores were written
+# Second run must resume from the result stores in a few seconds.
+start=$(date +%s)
+"$FIG_CAMPAIGN" >"$SMOKE_DIR/fig_campaign_cached.log"
+echo "cached fig_campaign re-run: $(( $(date +%s) - start ))s"
 phase_end
 
 # Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with

@@ -11,6 +11,12 @@ OnnExecutor::OnnExecutor(AcceleratorConfig config, ExecutorOptions options)
   config_.validate();
 }
 
+void OnnExecutor::pop_readout_hook() {
+  require(!readout_hooks_.empty(),
+          "OnnExecutor::pop_readout_hook: hook stack is empty");
+  readout_hooks_.pop_back();
+}
+
 void OnnExecutor::condition_weights(nn::Sequential& model) const {
   if (!options_.quantize_weights) return;
   const phot::Dac dac(
@@ -63,7 +69,7 @@ nn::Tensor OnnExecutor::walk(nn::Sequential& model, const nn::Tensor& h,
                              std::size_t end_layer) const {
   require(begin_layer <= end_layer && end_layer <= model.size(),
           "OnnExecutor::walk: layer window out of range");
-  if (!options_.quantize_activations && !readout_hook_) {
+  if (!options_.quantize_activations && readout_hooks_.empty()) {
     if (end_layer == model.size()) {
       return model.forward_from(begin_layer, h, /*train=*/false);
     }
@@ -80,8 +86,8 @@ nn::Tensor OnnExecutor::walk(nn::Sequential& model, const nn::Tensor& h,
     cur = layer.forward(cur, /*train=*/false);
     if (!layer_is_mapped(layer)) continue;
     if (options_.quantize_activations) quantize_activations(cur, adc);
-    if (readout_hook_) {
-      readout_hook_(cur, layer_block(layer), cur.abs_max());
+    for (const HookEntry& entry : readout_hooks_) {
+      entry.hook(cur, layer_block(layer), cur.abs_max());
     }
   }
   return cur;

@@ -94,25 +94,43 @@ class OnnExecutor {
                        const std::vector<nn::Tensor>& prefix,
                        std::size_t batch_size = 64) const;
 
-  /// Installs (or clears, with nullptr) a read-out hook. While a hook is
-  /// installed, forward() walks the model layer by layer even when
-  /// activation quantization is off. `kind` defaults to kMutating (the safe
-  /// assumption); register monitors that never modify the tensor as
-  /// kObserving so accuracy sweeps keep their prefix-activation cache.
+  /// Replaces the whole hook stack with one hook (or clears it, with
+  /// nullptr). While any hook is installed, forward() walks the model layer
+  /// by layer even when activation quantization is off. `kind` defaults to
+  /// kMutating (the safe assumption); register monitors that never modify
+  /// the tensor as kObserving so accuracy sweeps keep their
+  /// prefix-activation cache.
   void set_readout_hook(ReadoutHook hook,
                         ReadoutHookKind kind = ReadoutHookKind::kMutating) {
-    readout_hook_ = std::move(hook);
-    readout_hook_kind_ = kind;
+    readout_hooks_.clear();
+    if (hook) push_readout_hook(std::move(hook), kind);
   }
-  bool has_readout_hook() const { return static_cast<bool>(readout_hook_); }
 
-  /// True when an installed hook may modify activations (the condition that
-  /// invalidates cached clean prefixes; see core::AttackEvaluator).
-  bool has_mutating_readout_hook() const {
-    return has_readout_hook() &&
-           readout_hook_kind_ == ReadoutHookKind::kMutating;
+  /// Stacks a hook on top of the installed ones. Hooks run in push order
+  /// after each mapped layer: mutating payloads (ADC trojans) first-pushed
+  /// see the raw read-out, observers pushed on top see what the electronics
+  /// downstream would — which is how campaign sweeps run defense monitors
+  /// concurrently with an active read-out attack. Pop is strictly LIFO
+  /// (ScopedObservingHook enforces it by scoping).
+  void push_readout_hook(ReadoutHook hook,
+                         ReadoutHookKind kind = ReadoutHookKind::kMutating) {
+    readout_hooks_.push_back({std::move(hook), kind});
   }
-  ReadoutHookKind readout_hook_kind() const { return readout_hook_kind_; }
+
+  /// Removes the most recently pushed hook; throws when the stack is empty.
+  void pop_readout_hook();
+
+  bool has_readout_hook() const { return !readout_hooks_.empty(); }
+  std::size_t readout_hook_count() const { return readout_hooks_.size(); }
+
+  /// True when any installed hook may modify activations (the condition
+  /// that invalidates cached clean prefixes; see core::AttackEvaluator).
+  bool has_mutating_readout_hook() const {
+    for (const auto& entry : readout_hooks_) {
+      if (entry.kind == ReadoutHookKind::kMutating) return true;
+    }
+    return false;
+  }
 
  private:
   /// Shared layer walk over [begin_layer, end_layer): plain forwards plus,
@@ -124,10 +142,14 @@ class OnnExecutor {
   static std::size_t count_correct(const nn::Tensor& logits,
                                    const std::vector<int>& labels);
 
+  struct HookEntry {
+    ReadoutHook hook;
+    ReadoutHookKind kind = ReadoutHookKind::kMutating;
+  };
+
   AcceleratorConfig config_;
   ExecutorOptions options_;
-  ReadoutHook readout_hook_;
-  ReadoutHookKind readout_hook_kind_ = ReadoutHookKind::kMutating;
+  std::vector<HookEntry> readout_hooks_;  // run in push order per layer
 };
 
 }  // namespace safelight::accel

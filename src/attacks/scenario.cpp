@@ -41,6 +41,15 @@ std::vector<AttackScenario> scenario_grid(
     const std::vector<double>& fractions, std::size_t seed_count,
     std::uint64_t base_seed) {
   require(seed_count > 0, "scenario_grid: need at least one seed");
+  // fraction == 0 is a valid *descriptor* (apply_attack treats it as an
+  // explicit no-op) but never a meaningful grid cell: it would sweep the
+  // clean baseline seed_count times under attack ids. Reject it here rather
+  // than silently diluting every aggregate with clean rows.
+  for (double fraction : fractions) {
+    require(fraction > 0.0,
+            "scenario_grid: zero-fraction grid cell (use the baseline "
+            "evaluation for the clean case)");
+  }
   std::vector<AttackScenario> grid;
   grid.reserve(vectors.size() * targets.size() * fractions.size() *
                seed_count);

@@ -165,4 +165,30 @@ double AttackEvaluator::evaluate_scenario(
   return accuracy;
 }
 
+attack::CorruptionStats AttackEvaluator::apply_composite(
+    const attack::CompositeScenario& composite) {
+  restore_clean();
+  last_stats_ = attack::apply_composite(mapping_, composite, corruption_);
+  return last_stats_;
+}
+
+double AttackEvaluator::evaluate_applied(const std::string& id) {
+  const std::string key = cache_key(id);
+  if (const auto cached = cache_->lookup(key)) return *cached;
+  const double accuracy = evaluate_attacked();
+  cache_->put(key, accuracy);
+  return accuracy;
+}
+
+double AttackEvaluator::evaluate_composite(
+    const attack::CompositeScenario& composite) {
+  const std::string key = cache_key(composite.id());
+  if (const auto cached = cache_->lookup(key)) return *cached;
+
+  apply_composite(composite);
+  const double accuracy = evaluate_applied(composite.id());
+  restore_clean();
+  return accuracy;
+}
+
 }  // namespace safelight::core

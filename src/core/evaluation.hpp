@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "accel/executor.hpp"
+#include "attacks/campaign.hpp"
 #include "attacks/corruption.hpp"
 #include "core/experiment_scale.hpp"
 #include "core/result_store.hpp"
@@ -54,6 +55,30 @@ class AttackEvaluator {
 
   /// Accuracy under one attack scenario (cached).
   double evaluate_scenario(const attack::AttackScenario& scenario);
+
+  /// Accuracy under a composite scenario (cached by CompositeScenario::id,
+  /// which is component-order invariant — a reordered composite hits the
+  /// same entry). All components corrupt the deployment in one pass before
+  /// a single evaluation; the prefix cache resumes at the first layer any
+  /// component dirtied (first_dirty_layer spans the union of components,
+  /// because it byte-compares the whole mapped state against the clean
+  /// snapshot).
+  double evaluate_composite(const attack::CompositeScenario& composite);
+
+  /// Applies every component of `composite` to the clean deployment and
+  /// *leaves the model attacked* — the campaign sweep's entry point for
+  /// running detector checks against a composite-compromised deployment.
+  /// Call restore_clean() when done. Returns the aggregated corruption
+  /// stats (also latched in last_stats()).
+  attack::CorruptionStats apply_composite(
+      const attack::CompositeScenario& composite);
+
+  /// Accuracy of the deployment in its *current* (already-attacked) state,
+  /// cached under `id` like evaluate_scenario and routed through the
+  /// prefix cache. Does not touch the weights — the campaign sweep uses it
+  /// between apply_composite and the detector checks so each phase pays
+  /// for exactly one corruption pass.
+  double evaluate_applied(const std::string& id);
 
   /// Corruption statistics of the last *computed* (non-cached) scenario.
   const attack::CorruptionStats& last_stats() const { return last_stats_; }

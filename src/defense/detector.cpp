@@ -7,14 +7,19 @@ namespace safelight::defense {
 ScopedObservingHook::ScopedObservingHook(accel::OnnExecutor& executor,
                                          accel::ReadoutHook hook)
     : executor_(executor) {
-  require(!executor_.has_readout_hook(),
-          "defense: executor already carries a read-out hook");
-  executor_.set_readout_hook(std::move(hook),
-                             accel::ReadoutHookKind::kObserving);
+  executor_.push_readout_hook(std::move(hook),
+                              accel::ReadoutHookKind::kObserving);
+  depth_ = executor_.readout_hook_count();
 }
 
 ScopedObservingHook::~ScopedObservingHook() {
-  executor_.set_readout_hook(nullptr);
+  // Pop only when our own hook is still on top. If someone violated the
+  // LIFO discipline while this scope was alive — cleared the stack via
+  // set_readout_hook, or pushed above without popping — removing whatever
+  // is on top now would silently uninstall *their* hook; and throwing out
+  // of a destructor would terminate. Leaving the stack alone is the only
+  // outcome that corrupts no one else's state.
+  if (executor_.readout_hook_count() == depth_) executor_.pop_readout_hook();
 }
 
 DetectionResult Detector::make_result(double score, std::size_t probes,

@@ -90,10 +90,13 @@ class Detector {
   double threshold_;
 };
 
-/// RAII installer for an *observing* read-out hook: requires the executor
-/// to be hook-free, installs on construction, always removes on scope exit
-/// — so a probe forward that throws (e.g. a shape-mismatched probe set)
-/// never leaves a stale hook behind on a shared executor.
+/// RAII installer for an *observing* read-out hook: pushes onto the
+/// executor's hook stack on construction, always pops on scope exit — so a
+/// probe forward that throws (e.g. a shape-mismatched probe set) never
+/// leaves a stale hook behind on a shared executor. Stacks freely on top of
+/// already-installed hooks (e.g. an active ADC-trojan payload during a
+/// campaign check): the observer then sees the read-out exactly as the
+/// downstream electronics would.
 class ScopedObservingHook {
  public:
   ScopedObservingHook(accel::OnnExecutor& executor, accel::ReadoutHook hook);
@@ -104,6 +107,7 @@ class ScopedObservingHook {
 
  private:
   accel::OnnExecutor& executor_;
+  std::size_t depth_ = 0;  // stack depth right after our push
 };
 
 }  // namespace safelight::defense

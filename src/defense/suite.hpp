@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "attacks/campaign.hpp"
 #include "attacks/corruption.hpp"
 #include "core/experiment_scale.hpp"
 #include "defense/canary.hpp"
@@ -66,6 +67,16 @@ class DetectorSuite {
 std::vector<attack::BlockThermalState> scenario_telemetry(
     const accel::AcceleratorConfig& accel,
     const attack::AttackScenario& scenario,
+    const attack::CorruptionConfig& corruption = {});
+
+/// Telemetry of a composite scenario: per-component scenario_telemetry,
+/// superposed per block. The steady-state heat equation is linear in its
+/// sources, so summing the solved per-cell temperature rises (and per-bank
+/// delta-Ts) of concurrent hotspot components is the exact field a die
+/// under both attacks would show. Empty for all-actuation composites.
+std::vector<attack::BlockThermalState> composite_telemetry(
+    const accel::AcceleratorConfig& accel,
+    const attack::CompositeScenario& composite,
     const attack::CorruptionConfig& corruption = {});
 
 }  // namespace safelight::defense

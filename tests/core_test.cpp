@@ -10,24 +10,10 @@
 #include "core/report.hpp"
 #include "core/zoo.hpp"
 #include "nn/serialize.hpp"
+#include "test_util.hpp"
 
 namespace safelight::core {
 namespace {
-
-/// Unique temp directory per test to keep cache state isolated.
-class TempDir {
- public:
-  explicit TempDir(const std::string& name)
-      : path_("/tmp/safelight_test_" + name) {
-    std::filesystem::remove_all(path_);
-    std::filesystem::create_directories(path_);
-  }
-  ~TempDir() { std::filesystem::remove_all(path_); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
 
 // ---------------------------------------------------------------- scaling
 

@@ -12,6 +12,7 @@
 #include "core/evaluation.hpp"
 #include "defense/suite.hpp"
 #include "nn/serialize.hpp"
+#include "test_util.hpp"
 
 namespace safelight {
 namespace {
@@ -20,21 +21,6 @@ using core::DetectionOptions;
 using core::DetectionReport;
 using core::ExperimentSetup;
 using core::ModelZoo;
-
-/// Unique temp directory per test to keep cache state isolated.
-class TempDir {
- public:
-  explicit TempDir(const std::string& name)
-      : path_("/tmp/safelight_test_" + name) {
-    std::filesystem::remove_all(path_);
-    std::filesystem::create_directories(path_);
-  }
-  ~TempDir() { std::filesystem::remove_all(path_); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
 
 ExperimentSetup tiny_setup() {
   return core::experiment_setup(nn::ModelId::kCnn1, Scale::kTiny);

@@ -1,0 +1,144 @@
+// Golden-file regression tests: tiny-scale fig7 and fig_detection CSV
+// content is checked in under tests/golden/ and must regenerate
+// byte-identically. The whole stack under the published numbers — synthetic
+// data, training, conditioning, the packed GEMM, the prefix-activation
+// cache, the thread-pool fan-out, detector scoring — is deterministic by
+// contract; these tests turn that contract into a tripwire, so a kernel,
+// cache or threading change can never silently shift the figures again.
+//
+// To regenerate after an *intentional* numbers change:
+//   SAFELIGHT_UPDATE_GOLDEN=1 ctest -R Golden
+// and commit the diff under tests/golden/ with the explanation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "core/detection.hpp"
+#include "core/susceptibility.hpp"
+#include "test_util.hpp"
+
+#ifndef SAFELIGHT_GOLDEN_DIR
+#error "SAFELIGHT_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace safelight {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(SAFELIGHT_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `content` against the checked-in golden file byte for byte.
+/// With SAFELIGHT_UPDATE_GOLDEN=1 the file is (re)written instead — the
+/// explicit opt-in for intentional numbers changes.
+void expect_matches_golden(const std::string& content,
+                           const std::string& name) {
+  const std::string path = golden_path(name);
+  if (env_int("SAFELIGHT_UPDATE_GOLDEN", 0) != 0) {
+    std::filesystem::create_directories(SAFELIGHT_GOLDEN_DIR);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    ASSERT_TRUE(out.good()) << "failed to write " << path;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (generate with SAFELIGHT_UPDATE_GOLDEN=1)";
+  const std::string golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  // EXPECT_EQ on the full strings would dump both files on mismatch; find
+  // the first differing line for a readable failure instead.
+  if (content == golden) return;
+  std::istringstream got(content);
+  std::istringstream want(golden);
+  std::string got_line, want_line;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool has_got = static_cast<bool>(std::getline(got, got_line));
+    const bool has_want = static_cast<bool>(std::getline(want, want_line));
+    if (!has_got && !has_want) break;
+    if (!has_got) got_line = "<eof>";
+    if (!has_want) want_line = "<eof>";
+    ASSERT_EQ(got_line, want_line)
+        << name << " diverges at line " << line
+        << " — if the change is intentional, regenerate with "
+           "SAFELIGHT_UPDATE_GOLDEN=1 and commit the diff";
+  }
+  FAIL() << name << " differs from the regenerated content";
+}
+
+core::ExperimentSetup tiny_setup() {
+  return core::experiment_setup(nn::ModelId::kCnn1, Scale::kTiny);
+}
+
+TEST(Golden, Fig7SusceptibilityCnn1Tiny) {
+  TempDir dir("golden_fig7");
+  const core::ExperimentSetup setup = tiny_setup();
+  core::ModelZoo zoo(dir.path());
+  core::SusceptibilityOptions options;
+  options.seed_count = 2;
+  const core::SusceptibilityReport report =
+      core::run_susceptibility(setup, zoo, options);
+
+  // Exactly the fig7_susceptibility.csv row format (bench/fig7).
+  std::string csv = "model,vector,target,fraction,seed,accuracy,baseline\n";
+  for (const auto& row : report.rows) {
+    csv += nn::to_string(setup.model) + "," +
+           attack::to_string(row.scenario.vector) + "," +
+           attack::to_string(row.scenario.target) + "," +
+           fmt_double(row.scenario.fraction, 2) + "," +
+           std::to_string(row.scenario.seed) + "," +
+           fmt_double(row.accuracy, 4) + "," +
+           fmt_double(report.baseline_accuracy, 4) + "\n";
+  }
+  expect_matches_golden(csv, "fig7_cnn1_tiny.csv");
+}
+
+TEST(Golden, FigDetectionCnn1Tiny) {
+  TempDir dir("golden_fig_detection");
+  const core::ExperimentSetup setup = tiny_setup();
+  core::ModelZoo zoo(dir.path());
+  core::DetectionOptions options;
+  options.seed_count = 1;
+  options.clean_runs = 3;
+  const core::DetectionReport report = core::run_detection_sweep(
+      setup, zoo, core::variant_by_name("Original"), options);
+
+  // Exactly the fig_detection.csv row format (bench/fig_detection).
+  std::string csv =
+      "model,run,clean,vector,target,fraction,seed,detector,score,flagged,"
+      "probes,first_flag_probe\n";
+  for (const auto& row : report.rows) {
+    csv += nn::to_string(setup.model) + "," + row.run_id + "," +
+           (row.clean ? "1" : "0") + "," +
+           (row.clean ? "" : attack::to_string(row.scenario.vector)) + "," +
+           (row.clean ? "" : attack::to_string(row.scenario.target)) + "," +
+           (row.clean ? "0" : fmt_double(row.scenario.fraction, 2)) + "," +
+           (row.clean ? "" : std::to_string(row.scenario.seed)) + "," +
+           row.detector + "," + fmt_double(row.score, 6) + "," +
+           (row.flagged ? "1" : "0") + "," + std::to_string(row.probes) +
+           "," + std::to_string(row.first_flag_probe) + "\n";
+  }
+  // The ROC curves ride along in the same golden (fig_detection_roc.csv
+  // format): they are a pure function of the scores, but pinning them
+  // catches regressions in the curve/threshold assembly itself.
+  csv += "model,detector,threshold,tpr,fpr\n";
+  for (const std::string& detector : report.detectors) {
+    const core::RocCurve curve = report.roc(detector);
+    for (const auto& point : curve.points) {
+      csv += nn::to_string(setup.model) + "," + detector + "," +
+             fmt_double(point.threshold, 6) + "," +
+             fmt_double(point.tpr, 4) + "," + fmt_double(point.fpr, 4) + "\n";
+    }
+  }
+  expect_matches_golden(csv, "fig_detection_cnn1_tiny.csv");
+}
+
+}  // namespace
+}  // namespace safelight

@@ -9,24 +9,10 @@
 #include "core/pipeline.hpp"
 #include "core/result_store.hpp"
 #include "core/susceptibility.hpp"
+#include "test_util.hpp"
 
 namespace safelight::core {
 namespace {
-
-/// Unique temp directory per test to keep cache state isolated.
-class TempDir {
- public:
-  explicit TempDir(const std::string& name)
-      : path_("/tmp/safelight_test_" + name) {
-    std::filesystem::remove_all(path_);
-    std::filesystem::create_directories(path_);
-  }
-  ~TempDir() { std::filesystem::remove_all(path_); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
 
 ExperimentSetup tiny_setup() {
   return experiment_setup(nn::ModelId::kCnn1, Scale::kTiny);
@@ -95,6 +81,90 @@ TEST(ResultStore, ToleratesTornTrailingRow) {
   ResultStore reloaded(path);
   ASSERT_TRUE(reloaded.lookup("awkward").has_value());
   EXPECT_DOUBLE_EQ(*reloaded.lookup("awkward"), awkward);
+}
+
+TEST(ResultStore, PropertyResumesFromEveryTruncationOffset) {
+  // Property: for *every* byte offset a mid-write kill could leave the
+  // store file at, a fresh ResultStore (a) loads exactly the rows whose
+  // terminating newline survived, (b) never loads a torn or merged row,
+  // and (c) keeps accepting appends whose reload round-trips — the cleanly
+  // flushed case is just the offset == size corner.
+  TempDir dir("result_store_property");
+  const std::string path = dir.path() + "/store.csv";
+  const std::vector<std::pair<std::string, double>> rows = {
+      {"a/1", 0.5},           {"b,with,commas/2", 197.0 / 300.0},
+      {"c/3", -1.25e-7},      {"d/4", 1.0},
+      {"e/long/key/5", 0.75},
+  };
+  {
+    ResultStore store(path);
+    for (const auto& [key, value] : rows) store.put(key, value);
+  }
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(content.empty());
+
+  for (std::size_t offset = 0; offset <= content.size(); ++offset) {
+    // Rows wholly contained in the first `offset` bytes survive. Walking
+    // the original content keeps this oracle independent of the parser.
+    std::size_t expected = 0;
+    for (std::size_t pos = 0; pos < offset;) {
+      const std::size_t newline = content.find('\n', pos);
+      if (newline == std::string::npos || newline >= offset) break;
+      if (content.substr(pos, newline - pos) != "key,accuracy") ++expected;
+      pos = newline + 1;
+    }
+
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << content.substr(0, offset);
+    }
+    ResultStore resumed(path);
+    EXPECT_EQ(resumed.size(), expected) << "offset " << offset;
+    std::size_t found = 0;
+    for (const auto& [key, value] : rows) {
+      const auto loaded = resumed.lookup(key);
+      if (!loaded.has_value()) continue;
+      ++found;
+      EXPECT_DOUBLE_EQ(*loaded, value) << key << " at offset " << offset;
+    }
+    EXPECT_EQ(found, expected) << "offset " << offset;  // no foreign rows
+
+    // The torn tail was truncated away on load: appending now must not
+    // merge into it, and the appended entry must round-trip.
+    resumed.put("fresh/after/tear", 0.375);
+    ResultStore reloaded(path);
+    EXPECT_EQ(reloaded.size(), expected + 1) << "offset " << offset;
+    ASSERT_TRUE(reloaded.lookup("fresh/after/tear").has_value());
+    EXPECT_DOUBLE_EQ(*reloaded.lookup("fresh/after/tear"), 0.375);
+  }
+}
+
+TEST(ResultStore, TruncatedJsonlMirrorNeverAffectsResume) {
+  // The JSONL mirror is write-only telemetry: a record torn by a mid-write
+  // kill must neither break CSV resume nor stop the mirror from appending.
+  TempDir dir("result_store_jsonl_torn");
+  const std::string csv = dir.path() + "/store.csv";
+  const std::string jsonl = dir.path() + "/store.jsonl";
+  {
+    ResultStore store(csv, jsonl);
+    store.put("k/1", 0.5);
+    store.put("k/2", 0.25);
+  }
+  // Tear the mirror mid-record.
+  std::filesystem::resize_file(jsonl, std::filesystem::file_size(jsonl) / 2);
+
+  ResultStore resumed(csv, jsonl);
+  EXPECT_EQ(resumed.size(), 2u);  // resume reads the CSV, not the mirror
+  resumed.put("k/3", 0.125);
+  std::ifstream in(jsonl);
+  std::string line, last;
+  while (std::getline(in, line)) last = line;
+  EXPECT_NE(last.find("\"key\":\"k/3\""), std::string::npos);
 }
 
 TEST(ResultStore, StreamsJsonlMirror) {

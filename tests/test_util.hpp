@@ -1,0 +1,25 @@
+// Shared GoogleTest helpers for the SafeLight suite.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace safelight {
+
+/// Unique temp directory per test to keep cache state (zoo models, result
+/// stores) isolated; removed again on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_("/tmp/safelight_test_" + name) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace safelight
