@@ -3,41 +3,32 @@
 
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
 #include <string>
 #include <vector>
 
-#include "common/env.hpp"
+#include "common/config.hpp"
 #include "common/parallel.hpp"
+#include "core/report.hpp"
 #include "nn/models.hpp"
 
 namespace safelight::bench {
 
-/// Output directory for bench CSVs (created on demand).
-inline std::string out_dir() {
-  const std::string dir = env_string("SAFELIGHT_OUT", "safelight_out");
-  std::filesystem::create_directories(dir);
-  return dir;
-}
+/// Output directory for bench CSVs (created on demand). Resolution and
+/// precedence live in common/config.hpp.
+inline std::string out_dir() { return config::out_dir(); }
 
-/// Experiment scale for benches: default preset unless overridden.
-inline Scale bench_scale() { return env_scale(); }
+/// Experiment scale for benches: common/config precedence.
+inline Scale bench_scale() { return config::scale(); }
 
-/// Seed-count override (SAFELIGHT_SEEDS), with a per-bench default.
+/// Seed-count with a per-bench default: common/config precedence.
 inline std::size_t seed_count(std::size_t fallback) {
-  const auto v = env_int("SAFELIGHT_SEEDS", static_cast<std::int64_t>(fallback));
-  return v < 1 ? 1 : static_cast<std::size_t>(v);
+  return config::seed_count(fallback);
 }
 
-inline void banner(const std::string& title) {
-  std::printf("\n================ %s ================\n", title.c_str());
-  std::fflush(stdout);
-}
+inline void banner(const std::string& title) { core::banner(title); }
 
 /// The paper's three CNN models, in figure order.
-inline std::vector<nn::ModelId> paper_models() {
-  return {nn::ModelId::kCnn1, nn::ModelId::kResNet18, nn::ModelId::kVgg16v};
-}
+inline std::vector<nn::ModelId> paper_models() { return nn::paper_models(); }
 
 /// Wall-clock stopwatch for sweep timing reports.
 class Stopwatch {

@@ -2,96 +2,9 @@
 // and hotspot attacks on 1/5/10 % of the MRs in the CONV block, FC block and
 // the whole accelerator, with N random trojan placements per case.
 //
-// The full grid (2 vectors x 3 targets x 3 intensities x N placements) runs
-// through the scenario pipeline: evaluations fan out over SAFELIGHT_THREADS
-// workers and results persist in the zoo directory, so an interrupted run
-// resumes and a re-run is instant. Prints one table per model (the data
-// behind Fig. 7(a)-(c)) plus the paper's §IV headline numbers (worst-case
-// drops at 10 % hotspot CONV+FC).
+// Thin wrapper: equivalent to `safelight run susceptibility` (the unified
+// experiment CLI, src/cli/cli.hpp); kept so the historical per-figure
+// binary name keeps working. All knobs come from the SAFELIGHT_* env vars.
+#include "cli/cli.hpp"
 
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "core/report.hpp"
-#include "core/susceptibility.hpp"
-
-namespace sl = safelight;
-
-int main() {
-  const sl::Scale scale = sl::bench::bench_scale();
-  const std::size_t seeds = sl::bench::seed_count(10);
-  sl::bench::banner("Fig. 7: attack susceptibility analysis (" +
-                    sl::to_string(scale) + " scale, " +
-                    std::to_string(seeds) + " placements)");
-
-  sl::core::ModelZoo zoo;
-  sl::CsvWriter csv(sl::bench::out_dir() + "/fig7_susceptibility.csv",
-                    {"model", "vector", "target", "fraction", "seed",
-                     "accuracy", "baseline"});
-
-  struct Headline {
-    std::string model;
-    double baseline;
-    double worst_drop_10pct_hotspot;
-  };
-  std::vector<Headline> headlines;
-
-  for (sl::nn::ModelId id : sl::bench::paper_models()) {
-    const auto setup = sl::core::experiment_setup(id, scale);
-    sl::core::SusceptibilityOptions options;
-    options.seed_count = seeds;
-    options.cache_dir = zoo.directory();
-    options.verbose = false;
-
-    std::printf("\n--- %s (%s on %s) ---\n", sl::nn::to_string(id).c_str(),
-                sl::to_string(scale).c_str(), setup.dataset_family.c_str());
-    std::fflush(stdout);
-    const sl::bench::Stopwatch watch;
-    const sl::core::SusceptibilityReport report =
-        sl::core::run_susceptibility(setup, zoo, options);
-    sl::bench::report_timing(report.rows.size(), watch.seconds());
-
-    std::printf("baseline accuracy: %s\n\n",
-                sl::core::pct(report.baseline_accuracy).c_str());
-    sl::core::TextTable table({"attack", "target", "fraction", "min",
-                               "median", "max", "mean", "worst drop"});
-    for (const auto& group : report.groups) {
-      table.add_row({sl::attack::to_string(group.vector),
-                     sl::attack::to_string(group.target),
-                     sl::core::pct(group.fraction),
-                     sl::core::pct(group.accuracy.min),
-                     sl::core::pct(group.accuracy.median),
-                     sl::core::pct(group.accuracy.max),
-                     sl::core::pct(group.accuracy.mean),
-                     sl::core::pct(report.baseline_accuracy -
-                                   group.accuracy.min)});
-    }
-    std::printf("%s", table.render().c_str());
-
-    for (const auto& row : report.rows) {
-      csv.row({sl::nn::to_string(id), sl::attack::to_string(row.scenario.vector),
-               sl::attack::to_string(row.scenario.target),
-               sl::fmt_double(row.scenario.fraction, 2),
-               std::to_string(row.scenario.seed),
-               sl::fmt_double(row.accuracy, 4),
-               sl::fmt_double(report.baseline_accuracy, 4)});
-    }
-    headlines.push_back(
-        {sl::nn::to_string(id), report.baseline_accuracy,
-         report.worst_drop(sl::attack::AttackVector::kHotspot,
-                           sl::attack::AttackTarget::kBothBlocks, 0.10)});
-  }
-
-  sl::bench::banner("Headline (paper SIV: 7.49% / 26.4% / 80.46% drops)");
-  sl::core::TextTable headline_table(
-      {"model", "baseline", "worst drop @ 10% hotspot CONV+FC"});
-  for (const auto& h : headlines) {
-    headline_table.add_row({h.model, sl::core::pct(h.baseline),
-                            sl::core::pct(h.worst_drop_10pct_hotspot)});
-  }
-  std::printf("%s\n", headline_table.render().c_str());
-  std::printf("CSV written to %s/fig7_susceptibility.csv\n",
-              sl::bench::out_dir().c_str());
-  return 0;
-}
+int main() { return safelight::cli::run({"run", "susceptibility"}); }

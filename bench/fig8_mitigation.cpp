@@ -1,75 +1,10 @@
 // Fig. 8 reproduction: box-whisker accuracy of the mitigation variants
 // (Original, L2_reg, l2+n1..l2+n9) across all attack scenarios for each of
-// the three CNN models. Also reports the most robust configuration per
-// model (the paper found l2+n3 / l2+n5 / l2+n2).
+// the three CNN models, plus the most robust configuration per model.
+//
+// Thin wrapper: equivalent to `safelight run mitigation` (the unified
+// experiment CLI, src/cli/cli.hpp); kept so the historical per-figure
+// binary name keeps working. All knobs come from the SAFELIGHT_* env vars.
+#include "cli/cli.hpp"
 
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "core/mitigation.hpp"
-#include "core/report.hpp"
-
-namespace sl = safelight;
-
-int main() {
-  const sl::Scale scale = sl::bench::bench_scale();
-  const std::size_t seeds = sl::bench::seed_count(3);
-  sl::bench::banner("Fig. 8: mitigation variants under attack (" +
-                    sl::to_string(scale) + " scale, " +
-                    std::to_string(seeds) + " placements per cell)");
-
-  sl::core::ModelZoo zoo;
-  sl::CsvWriter csv(sl::bench::out_dir() + "/fig8_mitigation.csv",
-                    {"model", "variant", "baseline", "min", "q1", "median",
-                     "q3", "max", "mean"});
-
-  for (sl::nn::ModelId id : sl::bench::paper_models()) {
-    const auto setup = sl::core::experiment_setup(id, scale);
-    sl::core::MitigationOptions options;
-    options.seed_count = seeds;
-    options.cache_dir = zoo.directory();
-    options.verbose = true;
-
-    std::printf("\n--- %s ---\n", sl::nn::to_string(id).c_str());
-    std::fflush(stdout);
-    const sl::bench::Stopwatch watch;
-    const sl::core::MitigationReport report =
-        sl::core::run_mitigation(setup, zoo, options);
-    sl::bench::report_timing(
-        report.outcomes.size() * sl::attack::paper_scenario_grid(seeds).size(),
-        watch.seconds());
-
-    sl::core::TextTable table({"variant", "clean acc", "min", "q1", "median",
-                               "q3", "max"});
-    for (const auto& outcome : report.outcomes) {
-      table.add_row({outcome.variant.name,
-                     sl::core::pct(outcome.baseline_accuracy),
-                     sl::core::pct(outcome.under_attack.min),
-                     sl::core::pct(outcome.under_attack.q1),
-                     sl::core::pct(outcome.under_attack.median),
-                     sl::core::pct(outcome.under_attack.q3),
-                     sl::core::pct(outcome.under_attack.max)});
-      csv.row({sl::nn::to_string(id), outcome.variant.name,
-               sl::fmt_double(outcome.baseline_accuracy, 4),
-               sl::fmt_double(outcome.under_attack.min, 4),
-               sl::fmt_double(outcome.under_attack.q1, 4),
-               sl::fmt_double(outcome.under_attack.median, 4),
-               sl::fmt_double(outcome.under_attack.q3, 4),
-               sl::fmt_double(outcome.under_attack.max, 4),
-               sl::fmt_double(outcome.under_attack.mean, 4)});
-    }
-    std::printf("%s", table.render().c_str());
-    const auto& best = report.best_robust();
-    std::printf(
-        "most robust variant: %s (median %s under attack; Original median "
-        "%s)\n",
-        best.variant.name.c_str(),
-        sl::core::pct(best.under_attack.median).c_str(),
-        sl::core::pct(report.outcome("Original").under_attack.median)
-            .c_str());
-  }
-  std::printf("\nCSV written to %s/fig8_mitigation.csv\n",
-              sl::bench::out_dir().c_str());
-  return 0;
-}
+int main() { return safelight::cli::run({"run", "mitigation"}); }

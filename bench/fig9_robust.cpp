@@ -1,81 +1,10 @@
 // Fig. 9 reproduction: accuracy intervals of the most robust variant vs the
 // original model under actuation and hotspot attacks on 1/5/10 % of the
 // total MRs (CONV+FC), plus the recovered-accuracy numbers of paper §VI.
+//
+// Thin wrapper: equivalent to `safelight run robust_compare` (the unified
+// experiment CLI, src/cli/cli.hpp); kept so the historical per-figure
+// binary name keeps working. All knobs come from the SAFELIGHT_* env vars.
+#include "cli/cli.hpp"
 
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "core/report.hpp"
-#include "core/robust_compare.hpp"
-
-namespace sl = safelight;
-
-int main() {
-  const sl::Scale scale = sl::bench::bench_scale();
-  const std::size_t seeds = sl::bench::seed_count(5);
-  sl::bench::banner("Fig. 9: robust vs original models (" +
-                    sl::to_string(scale) + " scale, " +
-                    std::to_string(seeds) + " placements)");
-
-  sl::core::ModelZoo zoo;
-  sl::CsvWriter csv(sl::bench::out_dir() + "/fig9_robust.csv",
-                    {"model", "robust_variant", "vector", "fraction",
-                     "orig_min", "orig_max", "robust_min", "robust_max",
-                     "recovered_worst_case"});
-
-  for (sl::nn::ModelId id : sl::bench::paper_models()) {
-    const auto setup = sl::core::experiment_setup(id, scale);
-    sl::core::RobustCompareOptions options;
-    options.seed_count = seeds;
-    options.cache_dir = zoo.directory();
-    options.verbose = true;
-
-    std::printf("\n--- %s ---\n", sl::nn::to_string(id).c_str());
-    std::fflush(stdout);
-    const sl::bench::Stopwatch watch;
-    const sl::core::RobustComparisonReport report =
-        sl::core::run_robust_compare(setup, zoo, options);
-    // The window includes the internal run_mitigation sweep that selects
-    // the robust variant (dominant on a cold cache), so no per-scenario
-    // count is claimed here.
-    std::printf("[comparison + variant selection in %.1f s on %zu worker "
-                "thread(s)]\n",
-                watch.seconds(), sl::worker_count());
-    std::fflush(stdout);
-
-    std::printf("robust variant: %s | baselines: original %s, robust %s\n\n",
-                report.robust_variant_name.c_str(),
-                sl::core::pct(report.original_baseline).c_str(),
-                sl::core::pct(report.robust_baseline).c_str());
-
-    sl::core::TextTable table({"attack", "fraction", "original [min..max]",
-                               "robust [min..max]", "orig worst drop",
-                               "recovered"});
-    for (const auto& cell : report.cells) {
-      table.add_row(
-          {sl::attack::to_string(cell.vector), sl::core::pct(cell.fraction),
-           sl::core::pct(cell.original.min) + ".." +
-               sl::core::pct(cell.original.max),
-           sl::core::pct(cell.robust.min) + ".." +
-               sl::core::pct(cell.robust.max),
-           sl::core::pct(cell.original_drop(report.original_baseline)),
-           sl::core::signed_pct(cell.recovered())});
-      csv.row({sl::nn::to_string(id), report.robust_variant_name,
-               sl::attack::to_string(cell.vector),
-               sl::fmt_double(cell.fraction, 2),
-               sl::fmt_double(cell.original.min, 4),
-               sl::fmt_double(cell.original.max, 4),
-               sl::fmt_double(cell.robust.min, 4),
-               sl::fmt_double(cell.robust.max, 4),
-               sl::fmt_double(cell.recovered(), 4)});
-    }
-    std::printf("%s", table.render().c_str());
-  }
-  std::printf(
-      "\npaper reference: recoveries up to 5.4%% / 21.2%% / 30.7%% at 10%%,\n"
-      "2.09%% / 7.07%% / 35.54%% at 5%%, 1.1%% / 6.64%% / 9.07%% at 1%%\n"
-      "CSV written to %s/fig9_robust.csv\n",
-      sl::bench::out_dir().c_str());
-  return 0;
-}
+int main() { return safelight::cli::run({"run", "robust_compare"}); }

@@ -1,111 +1,10 @@
 // Campaign sweep: composite & adaptive attack campaigns vs. the defense
-// suite (beyond the paper's static §IV grid).
+// suite (per-campaign evasion rates, detection latency, per-phase accuracy
+// drops, plus the phase and per-check score CSVs).
 //
-// For each paper model the sweep deploys the Original variant, calibrates
-// the detector suite on the clean deployment, and runs the standard
-// red-team campaign set (attacks/campaign.hpp): an evasive intensity ramp,
-// a stealth-then-burst composite and a cross-block disjoint composite ramp.
-// Prints one table per model (per-campaign/per-detector evasion rate and
-// detection latency, worst phase accuracy drop) and writes two CSVs: the
-// per-phase accuracies and the raw per-(phase, check, detector) scores.
-//
-// Runs on the shared sweep infrastructure: phases fan out over
-// SAFELIGHT_THREADS workers and per-cell scores persist in the zoo
-// directory, so interrupted sweeps resume and re-runs are instant.
+// Thin wrapper: equivalent to `safelight run campaign` (the unified
+// experiment CLI, src/cli/cli.hpp); kept so the historical per-figure
+// binary name keeps working. All knobs come from the SAFELIGHT_* env vars.
+#include "cli/cli.hpp"
 
-#include <algorithm>
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "core/campaign_eval.hpp"
-#include "core/report.hpp"
-
-namespace sl = safelight;
-
-namespace {
-
-std::string latency_cell(const sl::core::CampaignResult& result,
-                         const std::string& detector) {
-  const std::size_t latency = result.detection_latency_checks(detector);
-  return latency == 0 ? "-" : std::to_string(latency) + " checks";
-}
-
-}  // namespace
-
-int main() {
-  const sl::Scale scale = sl::bench::bench_scale();
-  sl::bench::banner("Campaign sweep: adaptive attacks vs. the defense suite (" +
-                    sl::to_string(scale) + " scale)");
-
-  sl::core::ModelZoo zoo;
-  sl::CsvWriter phase_csv(
-      sl::bench::out_dir() + "/fig_campaign_phases.csv",
-      {"model", "campaign", "phase", "name", "active", "checks", "accuracy",
-       "baseline", "drop"});
-  sl::CsvWriter cell_csv(sl::bench::out_dir() + "/fig_campaign.csv",
-                         {"model", "campaign", "phase", "check", "detector",
-                          "score", "flagged"});
-
-  const auto campaigns = sl::attack::standard_campaigns();
-  for (sl::nn::ModelId id : sl::bench::paper_models()) {
-    const auto setup = sl::core::experiment_setup(id, scale);
-    sl::core::CampaignOptions options;
-    options.cache_dir = zoo.directory();
-
-    std::printf("\n--- %s (%s on %s) ---\n", sl::nn::to_string(id).c_str(),
-                sl::to_string(scale).c_str(), setup.dataset_family.c_str());
-    std::fflush(stdout);
-    const sl::bench::Stopwatch watch;
-    const sl::core::CampaignSweepReport report = sl::core::run_campaign_sweep(
-        setup, zoo, sl::core::variant_by_name("Original"), campaigns,
-        options);
-    std::size_t phase_count = 0;
-    for (const auto& c : report.campaigns) phase_count += c.phases.size();
-    sl::bench::report_timing(phase_count, watch.seconds());
-
-    sl::core::TextTable table({"campaign", "detector", "evasion rate",
-                               "latency", "worst drop"});
-    for (const auto& result : report.campaigns) {
-      double worst_drop = 0.0;
-      bool has_active = false;
-      for (std::size_t pi = 0; pi < result.phases.size(); ++pi) {
-        worst_drop = std::max(worst_drop, result.accuracy_drop(pi));
-        has_active = has_active || result.phases[pi].active;
-      }
-      for (const std::string& detector : result.detectors) {
-        // A dormant-only campaign (pure false-positive measurement) has no
-        // active phase to evade.
-        table.add_row({result.campaign, detector,
-                       has_active ? sl::core::pct(result.evasion_rate(detector))
-                                  : "-",
-                       latency_cell(result, detector),
-                       sl::core::pct(worst_drop)});
-      }
-    }
-    std::printf("%s", table.render().c_str());
-
-    for (const auto& result : report.campaigns) {
-      for (std::size_t pi = 0; pi < result.phases.size(); ++pi) {
-        const auto& phase = result.phases[pi];
-        phase_csv.row({sl::nn::to_string(id), result.campaign,
-                       std::to_string(pi), phase.name,
-                       phase.active ? "1" : "0", std::to_string(phase.checks),
-                       sl::fmt_double(phase.accuracy, 4),
-                       sl::fmt_double(result.baseline_accuracy, 4),
-                       sl::fmt_double(result.accuracy_drop(pi), 4)});
-      }
-      for (const auto& cell : result.cells) {
-        cell_csv.row({sl::nn::to_string(id), result.campaign,
-                      std::to_string(cell.phase), std::to_string(cell.check),
-                      cell.detector, sl::fmt_double(cell.score, 6),
-                      cell.flagged ? "1" : "0"});
-      }
-    }
-  }
-
-  std::printf("\nCSV written to %s/fig_campaign.csv and "
-              "%s/fig_campaign_phases.csv\n",
-              sl::bench::out_dir().c_str(), sl::bench::out_dir().c_str());
-  return 0;
-}
+int main() { return safelight::cli::run({"run", "campaign"}); }

@@ -1,128 +1,9 @@
-// Detection-evaluation sweep: ROC quality of the runtime defense subsystem.
+// Detection-evaluation sweep: ROC quality of the runtime defense subsystem
+// (per-detector FPR/TPR/AUC tables plus the raw score and ROC-curve CSVs).
 //
-// For each paper model the sweep deploys the Original variant, calibrates
-// the detector suite (canary probes, read-out range monitor, thermal
-// sentinels) on the clean deployment, and checks every detector against
-// clean runs plus the full attack scenario grid. Prints one table per
-// model (per-detector FPR at the default threshold, per-intensity TPR,
-// per-vector AUC, detection latency) and writes two CSVs: the raw
-// per-(run, detector) scores and the full ROC curves.
-//
-// Runs on the shared sweep infrastructure: checks fan out over
-// SAFELIGHT_THREADS workers and per-run scores persist in the zoo
-// directory, so interrupted sweeps resume and re-runs are instant.
+// Thin wrapper: equivalent to `safelight run detection` (the unified
+// experiment CLI, src/cli/cli.hpp); kept so the historical per-figure
+// binary name keeps working. All knobs come from the SAFELIGHT_* env vars.
+#include "cli/cli.hpp"
 
-#include <cstdio>
-#include <optional>
-
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "core/detection.hpp"
-#include "core/report.hpp"
-
-namespace sl = safelight;
-
-namespace {
-
-/// TPR over the attack runs at exactly intensity `fraction`.
-double tpr_at(const sl::core::DetectionReport& report,
-              const std::string& detector, double fraction) {
-  std::size_t total = 0;
-  std::size_t flagged = 0;
-  for (const auto& row : report.rows) {
-    if (row.clean || row.detector != detector) continue;
-    if (row.scenario.fraction != fraction) continue;
-    ++total;
-    if (row.flagged) ++flagged;
-  }
-  return total == 0 ? 0.0
-                    : static_cast<double>(flagged) / static_cast<double>(total);
-}
-
-std::string latency_cell(const sl::core::DetectionReport& report,
-                         const std::string& detector) {
-  try {
-    const sl::BoxStats latency = report.detection_latency(detector);
-    return sl::fmt_double(latency.median, 1) + " probes";
-  } catch (const std::invalid_argument&) {
-    return "-";  // the detector flagged no attack run
-  }
-}
-
-}  // namespace
-
-int main() {
-  const sl::Scale scale = sl::bench::bench_scale();
-  const std::size_t seeds = sl::bench::seed_count(3);
-  sl::bench::banner("Detection sweep: runtime defense ROC analysis (" +
-                    sl::to_string(scale) + " scale, " +
-                    std::to_string(seeds) + " placements)");
-
-  sl::core::ModelZoo zoo;
-  sl::CsvWriter csv(sl::bench::out_dir() + "/fig_detection.csv",
-                    {"model", "run", "clean", "vector", "target", "fraction",
-                     "seed", "detector", "score", "flagged", "probes",
-                     "first_flag_probe"});
-  sl::CsvWriter roc_csv(sl::bench::out_dir() + "/fig_detection_roc.csv",
-                        {"model", "detector", "threshold", "tpr", "fpr"});
-
-  for (sl::nn::ModelId id : sl::bench::paper_models()) {
-    const auto setup = sl::core::experiment_setup(id, scale);
-    sl::core::DetectionOptions options;
-    options.seed_count = seeds;
-    options.cache_dir = zoo.directory();
-
-    std::printf("\n--- %s (%s on %s) ---\n", sl::nn::to_string(id).c_str(),
-                sl::to_string(scale).c_str(), setup.dataset_family.c_str());
-    std::fflush(stdout);
-    const sl::bench::Stopwatch watch;
-    const sl::core::DetectionReport report = sl::core::run_detection_sweep(
-        setup, zoo, sl::core::variant_by_name("Original"), options);
-    sl::bench::report_timing(report.rows.size() / report.detectors.size(),
-                             watch.seconds());
-
-    sl::core::TextTable table({"detector", "FPR", "TPR@1%", "TPR@5%",
-                               "TPR@10%", "AUC actuation", "AUC hotspot",
-                               "AUC all", "median latency"});
-    for (const std::string& detector : report.detectors) {
-      table.add_row(
-          {detector, sl::core::pct(report.false_positive_rate(detector)),
-           sl::core::pct(tpr_at(report, detector, 0.01)),
-           sl::core::pct(tpr_at(report, detector, 0.05)),
-           sl::core::pct(tpr_at(report, detector, 0.10)),
-           sl::fmt_double(
-               report.auc(detector, sl::attack::AttackVector::kActuation), 3),
-           sl::fmt_double(
-               report.auc(detector, sl::attack::AttackVector::kHotspot), 3),
-           sl::fmt_double(report.auc(detector), 3),
-           latency_cell(report, detector)});
-    }
-    std::printf("%s", table.render().c_str());
-
-    for (const auto& row : report.rows) {
-      csv.row({sl::nn::to_string(id), row.run_id,
-               row.clean ? "1" : "0",
-               row.clean ? "" : sl::attack::to_string(row.scenario.vector),
-               row.clean ? "" : sl::attack::to_string(row.scenario.target),
-               row.clean ? "0" : sl::fmt_double(row.scenario.fraction, 2),
-               row.clean ? "" : std::to_string(row.scenario.seed),
-               row.detector, sl::fmt_double(row.score, 6),
-               row.flagged ? "1" : "0", std::to_string(row.probes),
-               std::to_string(row.first_flag_probe)});
-    }
-    for (const std::string& detector : report.detectors) {
-      const sl::core::RocCurve curve = report.roc(detector);
-      for (const auto& point : curve.points) {
-        roc_csv.row({sl::nn::to_string(id), detector,
-                     sl::fmt_double(point.threshold, 6),
-                     sl::fmt_double(point.tpr, 4),
-                     sl::fmt_double(point.fpr, 4)});
-      }
-    }
-  }
-
-  std::printf("\nCSV written to %s/fig_detection.csv and "
-              "%s/fig_detection_roc.csv\n",
-              sl::bench::out_dir().c_str(), sl::bench::out_dir().c_str());
-  return 0;
-}
+int main() { return safelight::cli::run({"run", "detection"}); }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/config.hpp"
 #include "core/campaign_eval.hpp"
 #include "core/report.hpp"
 
@@ -21,9 +22,9 @@ namespace sl = safelight;
 int main(int argc, char** argv) {
   const std::string model_name = argc > 1 ? argv[1] : "cnn1";
   const sl::nn::ModelId id = sl::nn::model_id_from_string(model_name);
-  const sl::Scale scale = sl::env_scale() == sl::Scale::kDefault
+  const sl::Scale scale = sl::config::scale() == sl::Scale::kDefault
                               ? sl::Scale::kTiny  // examples stay fast
-                              : sl::env_scale();
+                              : sl::config::scale();
   const sl::core::ExperimentSetup setup = sl::core::experiment_setup(id, scale);
 
   std::printf("SafeLight adaptive attack campaign: %s at %s scale\n",

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/config.hpp"
 #include "core/report.hpp"
 #include "core/susceptibility.hpp"
 
@@ -18,9 +19,9 @@ int main(int argc, char** argv) {
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
 
   const sl::nn::ModelId id = sl::nn::model_id_from_string(model_name);
-  const sl::Scale scale = sl::env_scale() == sl::Scale::kDefault
+  const sl::Scale scale = sl::config::scale() == sl::Scale::kDefault
                               ? sl::Scale::kTiny  // examples stay fast
-                              : sl::env_scale();
+                              : sl::config::scale();
   const sl::core::ExperimentSetup setup = sl::core::experiment_setup(id, scale);
 
   std::printf("SafeLight susceptibility: %s at %s scale, %zu seeds\n",

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/config.hpp"
 #include "core/evaluation.hpp"
 #include "core/report.hpp"
 #include "core/zoo.hpp"
@@ -19,9 +20,9 @@ int main(int argc, char** argv) {
   const std::string variant_name = argc > 2 ? argv[2] : "l2+n3";
 
   const sl::nn::ModelId id = sl::nn::model_id_from_string(model_name);
-  const sl::Scale scale = sl::env_scale() == sl::Scale::kDefault
+  const sl::Scale scale = sl::config::scale() == sl::Scale::kDefault
                               ? sl::Scale::kTiny
-                              : sl::env_scale();
+                              : sl::config::scale();
   const sl::core::ExperimentSetup setup = sl::core::experiment_setup(id, scale);
 
   sl::core::ModelZoo zoo;

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verify + pipeline smoke, the single entry point CI uses.
+# Tier-1 verify + experiment smoke, the single entry point CI uses.
 #
 #   scripts/check.sh [build-dir]
 #
 # 1. configure + build (warnings-as-errors, Release; ccache-launched when
 #    ccache is on PATH, so cached CI runs rebuild in seconds)
 # 2. run the full ctest suite
-# 3. smoke the scenario pipeline end to end at tiny scale: a fig7 sweep
-#    must complete, write its CSV, and resume instantly from cache.
-# 4. smoke the detection sweep: fig_detection must run and write its CSVs.
-# Ends with a per-phase wall-time summary.
+# 3. smoke the `safelight` CLI end to end at tiny scale: `list` must show
+#    the five registered experiments, `run-all` must complete in one
+#    process (per-experiment timing on stdout), write every CSV + JSON
+#    document and the result stores, and resume instantly from cache.
+# 4. cross-check the legacy wrapper: `bench/fig7_susceptibility` must emit
+#    a CSV byte-identical to run-all's (fresh zoo, so the equality is
+#    computational, not cache reuse).
+# Ends with a per-phase wall-time summary. CI uploads $SMOKE_DIR/out as
+# the experiment artifact bundle (see .github/workflows/ci.yml).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,45 +61,70 @@ if [[ "$UNLABELLED" != "0" ]]; then
   exit 1
 fi
 
-phase_start "pipeline smoke (tiny scale)"
+phase_start "safelight list"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+SAFELIGHT="$(cd "$BUILD_DIR" && pwd)/src/safelight"
+"$SAFELIGHT" list | tee "$SMOKE_DIR/list.log"
+for experiment in susceptibility mitigation robust_compare detection campaign; do
+  grep -q "^${experiment} " "$SMOKE_DIR/list.log"
+done
+# Unknown names must fail loudly (exit 2), listing what is registered.
+if "$SAFELIGHT" run not_an_experiment 2>"$SMOKE_DIR/unknown.log"; then
+  echo "error: unknown experiment name did not fail" >&2
+  exit 1
+fi
+grep -q "registered:" "$SMOKE_DIR/unknown.log"
+phase_end
+
+phase_start "safelight run-all (tiny scale)"
 export SAFELIGHT_SCALE=tiny
 export SAFELIGHT_SEEDS=2
 export SAFELIGHT_ZOO="$SMOKE_DIR/zoo"
 export SAFELIGHT_OUT="$SMOKE_DIR/out"
+# One process, five experiments, shared zoo; stdout carries the
+# per-experiment timing summary CI surfaces in the log.
+"$SAFELIGHT" run-all --json >"$SMOKE_DIR/run_all.log"
+sed -n '/run summary/,$p' "$SMOKE_DIR/run_all.log"
+for csv in fig7_susceptibility fig8_mitigation fig9_robust fig_detection \
+           fig_detection_roc fig_campaign fig_campaign_phases; do
+  test -s "$SMOKE_DIR/out/${csv}.csv"
+done
+for experiment in susceptibility mitigation robust_compare detection campaign; do
+  for model in cnn1 resnet18 vgg16v; do
+    test -s "$SMOKE_DIR/out/${experiment}_${model}.json"
+  done
+done
+ls "$SMOKE_DIR/zoo/"*.sweep.csv >/dev/null     # pipeline stores written
+ls "$SMOKE_DIR/zoo/"*.detect.csv >/dev/null    # detection stores written
+ls "$SMOKE_DIR/zoo/"*.campaign.csv >/dev/null  # campaign stores written
+
+# Second run must be served from the result stores (no re-evaluation):
+# a full cached re-run of all five experiments finishes in a few seconds.
+start=$(date +%s)
+SAFELIGHT_OUT="$SMOKE_DIR/out_cached" "$SAFELIGHT" run-all >"$SMOKE_DIR/run_all_cached.log"
+echo "cached run-all re-run: $(( $(date +%s) - start ))s"
+cmp "$SMOKE_DIR/out/fig7_susceptibility.csv" \
+    "$SMOKE_DIR/out_cached/fig7_susceptibility.csv"
+phase_end
+
+phase_start "legacy wrapper byte-identity (fig7)"
+# The per-figure binary must produce the same bytes as `safelight run-all`
+# — from a fresh zoo, so the equality is computational, not cache reuse.
 FIG7="$(cd "$BUILD_DIR" && pwd)/bench/fig7_susceptibility"
-"$FIG7" >"$SMOKE_DIR/fig7.log"
-test -s "$SMOKE_DIR/out/fig7_susceptibility.csv"
-ls "$SMOKE_DIR/zoo/"*.sweep.csv >/dev/null  # result stores were written
-
-# Second run must be served from the result store (no re-evaluation):
-# a full cached re-run of all three models finishes in a few seconds.
-start=$(date +%s)
-"$FIG7" >"$SMOKE_DIR/fig7_cached.log"
-elapsed=$(( $(date +%s) - start ))
-echo "cached fig7 re-run: ${elapsed}s"
+SAFELIGHT_ZOO="$SMOKE_DIR/zoo_wrapper" SAFELIGHT_OUT="$SMOKE_DIR/out_wrapper" \
+  "$FIG7" >"$SMOKE_DIR/fig7_wrapper.log"
+cmp "$SMOKE_DIR/out/fig7_susceptibility.csv" \
+    "$SMOKE_DIR/out_wrapper/fig7_susceptibility.csv"
+echo "wrapper CSV byte-identical to run-all"
 phase_end
 
-phase_start "detection smoke (tiny scale)"
-FIG_DETECT="$(cd "$BUILD_DIR" && pwd)/bench/fig_detection"
-"$FIG_DETECT" >"$SMOKE_DIR/fig_detection.log"
-test -s "$SMOKE_DIR/out/fig_detection.csv"
-test -s "$SMOKE_DIR/out/fig_detection_roc.csv"
-ls "$SMOKE_DIR/zoo/"*.detect.csv >/dev/null  # detection stores were written
-phase_end
-
-phase_start "campaign smoke (tiny scale)"
-FIG_CAMPAIGN="$(cd "$BUILD_DIR" && pwd)/bench/fig_campaign"
-"$FIG_CAMPAIGN" >"$SMOKE_DIR/fig_campaign.log"
-test -s "$SMOKE_DIR/out/fig_campaign.csv"
-test -s "$SMOKE_DIR/out/fig_campaign_phases.csv"
-ls "$SMOKE_DIR/zoo/"*.campaign.csv >/dev/null  # campaign stores were written
-# Second run must resume from the result stores in a few seconds.
-start=$(date +%s)
-"$FIG_CAMPAIGN" >"$SMOKE_DIR/fig_campaign_cached.log"
-echo "cached fig_campaign re-run: $(( $(date +%s) - start ))s"
-phase_end
+# Preserve the artifact bundle for CI upload (the EXIT trap removes
+# $SMOKE_DIR; CI points SAFELIGHT_ARTIFACT_DIR somewhere persistent).
+if [[ -n "${SAFELIGHT_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$SAFELIGHT_ARTIFACT_DIR"
+  cp "$SMOKE_DIR/out/"*.csv "$SMOKE_DIR/out/"*.json "$SAFELIGHT_ARTIFACT_DIR/"
+fi
 
 # Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with
 # the prefix cache A/B, exercised end to end when the bench stack is built.

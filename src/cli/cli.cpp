@@ -1,0 +1,451 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace safelight::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: safelight <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  list                 registered experiments\n"
+    "  run <experiment>     run one experiment over the paper models\n"
+    "  run-all              run every registered experiment in one process\n"
+    "  help                 this text\n"
+    "\n"
+    "flags (precedence: flag > SAFELIGHT_* env > default):\n"
+    "  --model <name>       cnn1 | resnet18 | vgg16v (default: all three)\n"
+    "  --scale <name>       tiny | default | full\n"
+    "  --seeds <N>          placements per grid cell\n"
+    "  --base-seed <N>      base placement seed\n"
+    "  --out <dir>          CSV/JSON output directory\n"
+    "  --zoo <dir>          trained-model and result-store cache directory\n"
+    "  --threads <N>        worker threads\n"
+    "  --json               also write per-(experiment, model) JSON\n"
+    "  --verbose            per-scenario progress output\n";
+
+struct CliOptions {
+  std::vector<nn::ModelId> models;  // resolved; paper models when no --model
+  bool json = false;
+  bool verbose = false;
+};
+
+using core::banner;
+
+/// Strict decimal parse: digits only (std::stoull would wrap "-1" to a
+/// huge positive and accept trailing garbage).
+std::uint64_t nonnegative_int(const std::string& flag,
+                              const std::string& value) {
+  const bool digits_only =
+      !value.empty() &&
+      value.find_first_not_of("0123456789") == std::string::npos;
+  if (!digits_only || value.size() > 19) {
+    fail_argument("flag " + flag + " needs a non-negative integer (got '" +
+                  value + "')");
+  }
+  return std::stoull(value);
+}
+
+std::size_t positive_int(const std::string& flag, const std::string& value) {
+  const std::uint64_t parsed = nonnegative_int(flag, value);
+  require(parsed >= 1, "flag " + flag + " must be >= 1 (got " + value + ")");
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Parses flags into (config overrides, CLI options); consumes all args
+/// after the command word. Throws std::invalid_argument on unknown flags.
+CliOptions parse_flags(const std::vector<std::string>& args,
+                       std::size_t begin) {
+  CliOptions options;
+  config::Overrides overrides;
+  for (std::size_t i = begin; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto value = [&]() -> const std::string& {
+      require(i + 1 < args.size(), "flag " + flag + " needs a value");
+      return args[++i];
+    };
+    if (flag == "--model") {
+      // Deduplicated, order-preserving: a repeated --model would silently
+      // double every CSV row of that model.
+      const nn::ModelId model = nn::model_id_from_string(value());
+      if (std::find(options.models.begin(), options.models.end(), model) ==
+          options.models.end()) {
+        options.models.push_back(model);
+      }
+    } else if (flag == "--scale") {
+      overrides.scale = config::parse_scale(value());
+    } else if (flag == "--seeds") {
+      overrides.seed_count = positive_int(flag, value());
+    } else if (flag == "--base-seed") {
+      overrides.base_seed = nonnegative_int(flag, value());  // 0 is legal
+    } else if (flag == "--out") {
+      overrides.out_dir = value();
+    } else if (flag == "--zoo") {
+      overrides.zoo_dir = value();
+    } else if (flag == "--threads") {
+      overrides.threads = positive_int(flag, value());
+    } else if (flag == "--json") {
+      options.json = true;
+    } else if (flag == "--verbose") {
+      options.verbose = true;
+    } else {
+      fail_argument("unknown flag '" + flag + "' (see 'safelight help')");
+    }
+  }
+  if (options.models.empty()) options.models = nn::paper_models();
+  config::set_overrides(overrides);
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Per-experiment console rendering (the tables the per-figure bench
+// binaries used to assemble inline).
+// ---------------------------------------------------------------------------
+
+void render(const core::SusceptibilityReport& report) {
+  std::printf("baseline accuracy: %s\n\n",
+              core::pct(report.baseline_accuracy).c_str());
+  core::TextTable table({"attack", "target", "fraction", "min", "median",
+                         "max", "mean", "worst drop"});
+  for (const auto& group : report.groups) {
+    table.add_row({attack::to_string(group.vector),
+                   attack::to_string(group.target), core::pct(group.fraction),
+                   core::pct(group.accuracy.min),
+                   core::pct(group.accuracy.median),
+                   core::pct(group.accuracy.max),
+                   core::pct(group.accuracy.mean),
+                   core::pct(report.baseline_accuracy - group.accuracy.min)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void render(const core::MitigationReport& report) {
+  core::TextTable table(
+      {"variant", "clean acc", "min", "q1", "median", "q3", "max"});
+  for (const auto& outcome : report.outcomes) {
+    table.add_row({outcome.variant.name,
+                   core::pct(outcome.baseline_accuracy),
+                   core::pct(outcome.under_attack.min),
+                   core::pct(outcome.under_attack.q1),
+                   core::pct(outcome.under_attack.median),
+                   core::pct(outcome.under_attack.q3),
+                   core::pct(outcome.under_attack.max)});
+  }
+  std::printf("%s", table.render().c_str());
+  const auto& best = report.best_robust();
+  std::printf(
+      "most robust variant: %s (median %s under attack; Original median "
+      "%s)\n",
+      best.variant.name.c_str(), core::pct(best.under_attack.median).c_str(),
+      core::pct(report.outcome("Original").under_attack.median).c_str());
+}
+
+void render(const core::RobustComparisonReport& report) {
+  std::printf("robust variant: %s | baselines: original %s, robust %s\n\n",
+              report.robust_variant_name.c_str(),
+              core::pct(report.original_baseline).c_str(),
+              core::pct(report.robust_baseline).c_str());
+  core::TextTable table({"attack", "fraction", "original [min..max]",
+                         "robust [min..max]", "orig worst drop", "recovered"});
+  for (const auto& cell : report.cells) {
+    table.add_row(
+        {attack::to_string(cell.vector), core::pct(cell.fraction),
+         core::pct(cell.original.min) + ".." + core::pct(cell.original.max),
+         core::pct(cell.robust.min) + ".." + core::pct(cell.robust.max),
+         core::pct(cell.original_drop(report.original_baseline)),
+         core::signed_pct(cell.recovered())});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+/// TPR over the attack runs at exactly intensity `fraction`.
+double tpr_at(const core::DetectionReport& report, const std::string& detector,
+              double fraction) {
+  std::size_t total = 0;
+  std::size_t flagged = 0;
+  for (const auto& row : report.rows) {
+    if (row.clean || row.detector != detector) continue;
+    if (row.scenario.fraction != fraction) continue;
+    ++total;
+    if (row.flagged) ++flagged;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(flagged) / static_cast<double>(total);
+}
+
+std::string latency_cell(const core::DetectionReport& report,
+                         const std::string& detector) {
+  try {
+    const BoxStats latency = report.detection_latency(detector);
+    return fmt_double(latency.median, 1) + " probes";
+  } catch (const std::invalid_argument&) {
+    return "-";  // the detector flagged no attack run
+  }
+}
+
+void render(const core::DetectionReport& report) {
+  core::TextTable table({"detector", "FPR", "TPR@1%", "TPR@5%", "TPR@10%",
+                         "AUC actuation", "AUC hotspot", "AUC all",
+                         "median latency"});
+  for (const std::string& detector : report.detectors) {
+    table.add_row(
+        {detector, core::pct(report.false_positive_rate(detector)),
+         core::pct(tpr_at(report, detector, 0.01)),
+         core::pct(tpr_at(report, detector, 0.05)),
+         core::pct(tpr_at(report, detector, 0.10)),
+         fmt_double(report.auc(detector, attack::AttackVector::kActuation), 3),
+         fmt_double(report.auc(detector, attack::AttackVector::kHotspot), 3),
+         fmt_double(report.auc(detector), 3), latency_cell(report, detector)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+void render(const core::CampaignSweepReport& report) {
+  core::TextTable table(
+      {"campaign", "detector", "evasion rate", "latency", "worst drop"});
+  for (const auto& result : report.campaigns) {
+    double worst_drop = 0.0;
+    bool has_active = false;
+    for (std::size_t pi = 0; pi < result.phases.size(); ++pi) {
+      worst_drop = std::max(worst_drop, result.accuracy_drop(pi));
+      has_active = has_active || result.phases[pi].active;
+    }
+    for (const std::string& detector : result.detectors) {
+      const std::size_t latency = result.detection_latency_checks(detector);
+      // A dormant-only campaign (pure false-positive measurement) has no
+      // active phase to evade.
+      table.add_row(
+          {result.campaign, detector,
+           has_active ? core::pct(result.evasion_rate(detector)) : "-",
+           latency == 0 ? "-" : std::to_string(latency) + " checks",
+           core::pct(worst_drop)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+/// Per-model timing line. robust_compare gets its own phrasing: its window
+/// includes the internal 11-variant mitigation sweep that selects the
+/// robust variant (dominant on a cold cache), so no per-scenario count is
+/// claimed there.
+void print_timing(const core::ExperimentResult& result) {
+  if (std::holds_alternative<core::RobustComparisonReport>(result.payload)) {
+    std::printf(
+        "[comparison + variant selection in %.1f s on %zu worker "
+        "thread(s)]\n",
+        result.wall_seconds, worker_count());
+    return;
+  }
+  std::size_t units = 0;
+  if (const auto* s =
+          std::get_if<core::SusceptibilityReport>(&result.payload)) {
+    units = s->rows.size();
+  } else if (const auto* m =
+                 std::get_if<core::MitigationReport>(&result.payload)) {
+    units = m->outcomes.size() *
+            attack::paper_scenario_grid(result.spec.seed_count,
+                                        result.spec.base_seed)
+                .size();
+  } else if (const auto* d =
+                 std::get_if<core::DetectionReport>(&result.payload)) {
+    units = d->detectors.empty() ? 0 : d->rows.size() / d->detectors.size();
+  } else {
+    const auto& campaign =
+        std::get<core::CampaignSweepReport>(result.payload);
+    for (const auto& c : campaign.campaigns) units += c.phases.size();
+  }
+  std::printf("[%zu unit(s) in %.1f s on %zu worker thread(s)]\n", units,
+              result.wall_seconds, worker_count());
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+int cmd_list() {
+  const auto& registry = core::ExperimentRegistry::global();
+  core::TextTable table({"experiment", "summary", "seeds", "csv files"});
+  for (const std::string& name : registry.names()) {
+    const core::ExperimentInfo& info = registry.info(name);
+    std::string files;
+    for (const std::string& stem : info.csv_files) {
+      if (!files.empty()) files += ", ";
+      files += stem + ".csv";
+    }
+    table.add_row({info.name, info.summary,
+                   std::to_string(info.default_seed_count), files});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+/// Runs `experiments` over `options.models` with one shared zoo: per
+/// experiment, CSV rows of consecutive models append under one header
+/// (byte-identical to the legacy per-figure binaries) and JSON documents go
+/// next to them with --json.
+int cmd_run(const std::vector<std::string>& experiments,
+            const CliOptions& options) {
+  const auto& registry = core::ExperimentRegistry::global();
+  // Fail on a typo before any sweep starts, not after the first one ran.
+  for (const std::string& name : experiments) registry.info(name);
+
+  const Scale scale = config::scale();
+  const std::string out_dir = config::out_dir();
+  core::ModelZoo zoo;
+  core::RunContext context(zoo);
+  context.progress = [&](const std::string& stage) {
+    std::printf("  . %s\n", stage.c_str());
+    std::fflush(stdout);
+  };
+
+  struct ExperimentTiming {
+    std::string experiment;
+    double seconds = 0.0;
+  };
+  std::vector<ExperimentTiming> timings;
+
+  for (const std::string& name : experiments) {
+    const core::ExperimentInfo& info = registry.info(name);
+    const std::size_t seeds = config::seed_count(info.default_seed_count);
+    banner(name + ": " + info.summary + " (" + to_string(scale) +
+           " scale, " + std::to_string(seeds) + " placements)");
+
+    // One writer per CSV document, shared by every model of the experiment.
+    std::map<std::string, std::unique_ptr<CsvWriter>> writers;
+    // Only the headline cells survive the per-model loop; full results
+    // (all sweep rows) are dropped per model to keep run-all memory flat.
+    std::vector<std::vector<std::string>> headline_rows;
+    double experiment_seconds = 0.0;
+
+    for (const nn::ModelId model : options.models) {
+      core::ExperimentSpec spec = registry.default_spec(name);
+      spec.model = model;
+      spec.scale = scale;
+      spec.seed_count = seeds;
+      spec.base_seed = config::base_seed();
+      spec.cache_dir = zoo.directory();
+      spec.verbose = options.verbose;
+
+      std::printf("\n--- %s (%s on %s) ---\n",
+                  nn::to_string(model).c_str(), to_string(scale).c_str(),
+                  spec.resolved_setup().dataset_family.c_str());
+      std::fflush(stdout);
+
+      const core::ExperimentResult result = registry.run(spec, context);
+      experiment_seconds += result.wall_seconds;
+      print_timing(result);
+      std::visit([](const auto& report) { render(report); }, result.payload);
+
+      for (const core::CsvDocument& doc : result.to_csv()) {
+        auto it = writers.find(doc.file_stem);
+        if (it == writers.end()) {
+          it = writers
+                   .emplace(doc.file_stem,
+                            std::make_unique<CsvWriter>(
+                                out_dir + "/" + doc.file_stem + ".csv",
+                                doc.header))
+                   .first;
+        }
+        for (const auto& row : doc.rows) it->second->row(row);
+      }
+      if (options.json) {
+        const std::string path =
+            out_dir + "/" + name + "_" + nn::to_string(model) + ".json";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << result.to_json();
+        require(out.good(), "failed to write " + path);
+      }
+      if (name == "susceptibility") {
+        const auto& report = result.as<core::SusceptibilityReport>();
+        headline_rows.push_back(
+            {nn::to_string(model), core::pct(report.baseline_accuracy),
+             core::pct(report.worst_drop(attack::AttackVector::kHotspot,
+                                         attack::AttackTarget::kBothBlocks,
+                                         0.10))});
+      }
+    }
+
+    if (name == "susceptibility") {
+      banner("Headline (paper SIV: 7.49% / 26.4% / 80.46% drops)");
+      core::TextTable headline(
+          {"model", "baseline", "worst drop @ 10% hotspot CONV+FC"});
+      for (const auto& row : headline_rows) headline.add_row(row);
+      std::printf("%s", headline.render().c_str());
+    }
+    if (name == "robust_compare") {
+      std::printf(
+          "\npaper reference: recoveries up to 5.4%% / 21.2%% / 30.7%% at "
+          "10%%,\n2.09%% / 7.07%% / 35.54%% at 5%%, 1.1%% / 6.64%% / 9.07%% "
+          "at 1%%\n");
+    }
+    std::string files;
+    for (const auto& [stem, writer] : writers) {
+      if (!files.empty()) files += ", ";
+      files += writer->path();
+    }
+    std::printf("\nCSV written to %s\n", files.c_str());
+    timings.push_back({name, experiment_seconds});
+  }
+
+  if (experiments.size() > 1) {
+    banner("run summary");
+    core::TextTable summary({"experiment", "wall seconds"});
+    for (const auto& timing : timings) {
+      summary.add_row({timing.experiment, fmt_double(timing.seconds, 1)});
+    }
+    std::printf("%s", summary.render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+        args[0] == "-h") {
+      std::printf("%s", kUsage);
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& command = args[0];
+    if (command == "list") {
+      require(args.size() == 1, "'safelight list' takes no flags");
+      return cmd_list();
+    }
+    if (command == "run") {
+      require(args.size() >= 2 && args[1].rfind("--", 0) != 0,
+              "'safelight run' needs an experiment name (try "
+              "'safelight list')");
+      const CliOptions options = parse_flags(args, 2);
+      return cmd_run({args[1]}, options);
+    }
+    if (command == "run-all") {
+      const CliOptions options = parse_flags(args, 1);
+      return cmd_run(core::ExperimentRegistry::global().names(), options);
+    }
+    fail_argument("unknown command '" + command +
+                  "' (see 'safelight help')");
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "safelight: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace safelight::cli

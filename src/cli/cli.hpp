@@ -1,0 +1,37 @@
+// The `safelight` command-line interface.
+//
+// One binary fronts every registered experiment (core/experiment.hpp):
+//
+//   safelight list                     registered experiments
+//   safelight run <experiment> [...]   one experiment, paper models
+//   safelight run-all [...]            every experiment, one process,
+//                                      shared zoo/caches
+//
+// Flags (CLI flag > SAFELIGHT_* env > default; see common/config.hpp):
+//   --model <cnn1|resnet18|vgg16v>   restrict to one model (default: all 3)
+//   --scale <tiny|default|full>      experiment scale
+//   --seeds <N>                      placements per grid cell
+//   --base-seed <N>                  base placement seed
+//   --out <dir>                      CSV/JSON output directory
+//   --zoo <dir>                      trained-model + result-store cache
+//   --threads <N>                    worker threads
+//   --json                           also write per-(experiment, model)
+//                                    JSON documents
+//   --verbose                        per-scenario progress output
+//
+// The per-figure bench binaries (bench/fig7_susceptibility, ...) are thin
+// wrappers over run(); the CSVs they emit are byte-identical to a
+// `safelight run` of the same experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace safelight::cli {
+
+/// Runs the CLI on `args` (argv without the program name). Returns the
+/// process exit code: 0 on success, 2 on a usage error, 1 on a runtime
+/// failure. Installs config overrides from flags; errors go to stderr.
+int run(const std::vector<std::string>& args);
+
+}  // namespace safelight::cli

@@ -1,0 +1,105 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace safelight::config {
+
+namespace {
+
+Overrides& mutable_overrides() {
+  static Overrides active;
+  return active;
+}
+
+/// Strict integer env read: unset/empty -> nullopt; a value that is not
+/// entirely a decimal integer throws instead of silently falling back
+/// (env_int's lenient behavior is exactly the silent-clamp class this
+/// module closes).
+std::optional<std::int64_t> strict_env_int(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  require(end != raw && *end == '\0',
+          std::string(name) + " must be a decimal integer (got '" + raw +
+              "')");
+  return static_cast<std::int64_t>(parsed);
+}
+
+}  // namespace
+
+void set_overrides(const Overrides& overrides) {
+  mutable_overrides() = overrides;
+}
+
+const Overrides& overrides() { return mutable_overrides(); }
+
+ScopedOverrides::ScopedOverrides(const Overrides& next)
+    : previous_(mutable_overrides()) {
+  mutable_overrides() = next;
+}
+
+ScopedOverrides::~ScopedOverrides() { mutable_overrides() = previous_; }
+
+Scale parse_scale(const std::string& name) {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "default") return Scale::kDefault;
+  if (name == "full") return Scale::kFull;
+  fail_argument("unknown scale '" + name +
+                "' (valid scales: tiny, default, full)");
+}
+
+Scale scale() {
+  if (mutable_overrides().scale) return *mutable_overrides().scale;
+  return parse_scale(env_string("SAFELIGHT_SCALE", "default"));
+}
+
+std::size_t seed_count(std::size_t fallback) {
+  if (mutable_overrides().seed_count) return *mutable_overrides().seed_count;
+  const std::int64_t v = strict_env_int("SAFELIGHT_SEEDS")
+                             .value_or(static_cast<std::int64_t>(fallback));
+  require(v >= 1, "SAFELIGHT_SEEDS must be >= 1 (got " + std::to_string(v) +
+                      "); every grid cell needs at least one placement");
+  return static_cast<std::size_t>(v);
+}
+
+std::uint64_t base_seed(std::uint64_t fallback) {
+  if (mutable_overrides().base_seed) return *mutable_overrides().base_seed;
+  const std::int64_t v = strict_env_int("SAFELIGHT_BASE_SEED")
+                             .value_or(static_cast<std::int64_t>(fallback));
+  require(v >= 0, "SAFELIGHT_BASE_SEED must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string out_dir() {
+  std::string dir = mutable_overrides().out_dir
+                        ? *mutable_overrides().out_dir
+                        : env_string("SAFELIGHT_OUT", "safelight_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string zoo_dir() {
+  if (mutable_overrides().zoo_dir) return *mutable_overrides().zoo_dir;
+  return env_string("SAFELIGHT_ZOO", "safelight_zoo");
+}
+
+std::size_t threads() {
+  if (mutable_overrides().threads) {
+    return *mutable_overrides().threads < 1 ? 1 : *mutable_overrides().threads;
+  }
+  if (const auto v = strict_env_int("SAFELIGHT_THREADS")) {
+    require(*v >= 1, "SAFELIGHT_THREADS must be >= 1 (got " +
+                         std::to_string(*v) + ")");
+    return static_cast<std::size_t>(*v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace safelight::config

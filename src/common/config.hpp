@@ -1,0 +1,93 @@
+// Unified run-time configuration (the SAFELIGHT_* knobs).
+//
+// Every sweep entry point — the `safelight` CLI, the per-figure bench
+// binaries, the tests — resolves its knobs through this one module instead
+// of parsing environment variables ad hoc. The precedence rule, applied
+// uniformly to every knob, is:
+//
+//     CLI flag  >  environment variable  >  built-in default
+//
+// The CLI layer installs parsed flags as a config::Overrides block; code
+// that never sees a CLI (tests, library callers) simply gets env-or-default
+// behaviour. Unknown *values* are rejected loudly (scale() throws on an
+// unrecognized SAFELIGHT_SCALE instead of silently running at default
+// scale), closing the silent-clamp bug class.
+//
+// Knobs and their environment variables:
+//   scale()       SAFELIGHT_SCALE    "tiny" | "default" | "full"
+//   seed_count()  SAFELIGHT_SEEDS    placements per grid cell (>= 1)
+//   out_dir()     SAFELIGHT_OUT      CSV/JSON output directory
+//   zoo_dir()     SAFELIGHT_ZOO      trained-model + result-store cache
+//   threads()     SAFELIGHT_THREADS  worker threads (>= 1)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace safelight::config {
+
+/// CLI-level settings; a field left empty defers to env-or-default. The CLI
+/// installs one of these after flag parsing; nothing else should.
+struct Overrides {
+  std::optional<Scale> scale;
+  std::optional<std::size_t> seed_count;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> zoo_dir;
+  std::optional<std::size_t> threads;
+  std::optional<std::uint64_t> base_seed;
+};
+
+/// Installs `overrides` as the process-wide CLI layer (replacing any
+/// previous block). Call before any sweep work starts: threads() feeds the
+/// worker pool, which caches its size on first use.
+void set_overrides(const Overrides& overrides);
+
+/// The active CLI layer (all fields empty when no CLI installed one).
+const Overrides& overrides();
+
+/// RAII guard for tests: installs `overrides`, restores the previous block
+/// on destruction.
+class ScopedOverrides {
+ public:
+  explicit ScopedOverrides(const Overrides& next);
+  ~ScopedOverrides();
+  ScopedOverrides(const ScopedOverrides&) = delete;
+  ScopedOverrides& operator=(const ScopedOverrides&) = delete;
+
+ private:
+  Overrides previous_;
+};
+
+/// Parses a scale name; throws std::invalid_argument listing the valid
+/// names on anything else.
+Scale parse_scale(const std::string& name);
+
+/// Experiment scale: CLI > SAFELIGHT_SCALE > Scale::kDefault. Throws on an
+/// unrecognized SAFELIGHT_SCALE value instead of silently defaulting.
+Scale scale();
+
+/// Placements per grid cell: CLI > SAFELIGHT_SEEDS > `fallback` (each
+/// experiment supplies its own paper default). Values < 1 from the
+/// environment are rejected with an actionable message.
+std::size_t seed_count(std::size_t fallback);
+
+/// Base placement seed: CLI > SAFELIGHT_BASE_SEED > `fallback`.
+std::uint64_t base_seed(std::uint64_t fallback = 1000);
+
+/// CSV/JSON output directory: CLI > SAFELIGHT_OUT > "safelight_out".
+/// Created on demand.
+std::string out_dir();
+
+/// Model/result cache directory: CLI > SAFELIGHT_ZOO > "safelight_zoo".
+/// Not created here; ModelZoo owns directory creation.
+std::string zoo_dir();
+
+/// Worker-thread count: CLI > SAFELIGHT_THREADS > hardware concurrency.
+/// Always >= 1. Note safelight::worker_count() caches this on first use.
+std::size_t threads();
+
+}  // namespace safelight::config

@@ -1,4 +1,10 @@
-// Environment-variable configuration knobs (documented in DESIGN.md §6).
+// Environment-variable primitives (raw getenv + parse).
+//
+// These are the low-level readers only; knob *resolution* — the CLI flag >
+// env > default precedence rule shared by the `safelight` CLI, benches and
+// tests — lives in common/config.hpp. Prefer config::scale() over
+// env_scale(): the latter silently defaults on unknown values and is kept
+// for backward compatibility.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,156 @@
+#include "common/json.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace safelight {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+/// Shared preamble of every value/begin_*: validates the key/position
+/// contract and emits the separating comma + layout.
+void JsonWriter::begin_value() {
+  if (!stack_.empty() && stack_.back() == 'o' && !key_pending_) {
+    fail_invariant("JsonWriter: value inside an object needs key() first");
+  }
+  if (stack_.empty() && !out_.empty()) {
+    fail_invariant("JsonWriter: only one top-level value allowed");
+  }
+  if (!key_pending_ && !stack_.empty()) {
+    if (!container_empty_) out_ += ',';
+    indent();
+  }
+  key_pending_ = false;
+  container_empty_ = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != 'o') {
+    fail_invariant("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) fail_invariant("JsonWriter: key() after key()");
+  if (!container_empty_) out_ += ',';
+  indent();
+  out_ += '"' + escape(name) + "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  stack_ += 'o';
+  container_empty_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != 'o') {
+    fail_invariant("JsonWriter: end_object() without open object");
+  }
+  const bool was_empty = container_empty_;
+  stack_.pop_back();
+  if (!was_empty) indent();
+  out_ += '}';
+  container_empty_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  stack_ += 'a';
+  container_empty_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != 'a') {
+    fail_invariant("JsonWriter: end_array() without open array");
+  }
+  const bool was_empty = container_empty_;
+  stack_.pop_back();
+  if (!was_empty) indent();
+  out_ += ']';
+  container_empty_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  begin_value();
+  out_ += '"' + escape(text) + '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  begin_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t n) {
+  begin_value();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t n) {
+  begin_value();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int precision) {
+  begin_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  begin_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() && {
+  if (!stack_.empty()) {
+    fail_invariant("JsonWriter: str() with open containers");
+  }
+  out_ += '\n';
+  return std::move(out_);
+}
+
+}  // namespace safelight

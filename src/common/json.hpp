@@ -1,0 +1,67 @@
+// Minimal deterministic JSON writer.
+//
+// The experiment layer serializes every ExperimentResult to JSON next to
+// its CSVs (golden-pinned, so the output must be byte-deterministic): keys
+// are emitted in call order, doubles print through fmt_double-style fixed
+// precision, and strings are escaped per RFC 8259. This is a writer only —
+// SafeLight never parses JSON (the result stores use CSV + JSONL streams
+// written elsewhere).
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.key("experiment").value("susceptibility");
+//   json.key("rows").begin_array();
+//   ...
+//   json.end_array();
+//   json.end_object();
+//   std::string text = std::move(json).str();
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace safelight {
+
+/// Streaming JSON builder with two-space indentation. Structural misuse
+/// (value without a key inside an object, unbalanced end_*) throws
+/// std::logic_error — caught by tests, not silently emitted.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value/begin_* attaches to it.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  /// Fixed-precision double (default 6 digits), deterministic across hosts.
+  JsonWriter& value(double v, int precision = 6);
+  JsonWriter& null_value();
+
+  /// Finished document. Throws std::logic_error when containers are still
+  /// open.
+  std::string str() &&;
+
+  /// Escapes a string per JSON rules (quotes not included).
+  static std::string escape(const std::string& raw);
+
+ private:
+  void begin_value();
+  void indent();
+
+  std::string out_;
+  /// Container stack: 'o' = object, 'a' = array.
+  std::string stack_;
+  bool key_pending_ = false;
+  bool container_empty_ = true;
+};
+
+}  // namespace safelight

@@ -1,22 +1,17 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <thread>
 
+#include "common/config.hpp"
 #include "common/thread_pool.hpp"
 
 namespace safelight {
 
 std::size_t worker_count() {
-  static const std::size_t cached = [] {
-    if (const char* env = std::getenv("SAFELIGHT_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed >= 1) return static_cast<std::size_t>(parsed);
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
-  }();
+  // Resolved through config (CLI flag > SAFELIGHT_THREADS > hardware
+  // concurrency) and cached on first use, so the CLI must install its
+  // overrides before the first parallel region runs.
+  static const std::size_t cached = config::threads();
   return cached;
 }
 

@@ -1,5 +1,7 @@
 #include "core/campaign_eval.hpp"
 
+#include "core/experiment.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -185,10 +187,26 @@ std::size_t CampaignResult::detection_latency_checks(
   return 0;
 }
 
-CampaignSweepReport run_campaign_sweep(
-    const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
-    const std::vector<attack::CampaignSchedule>& campaigns,
-    const CampaignOptions& options) {
+namespace {
+
+/// The sweep proper, in the unified-API shape: spec in, typed report out.
+CampaignSweepReport campaign_impl(const ExperimentSpec& experiment_spec,
+                                  RunContext& context) {
+  const ExperimentSetup setup = experiment_spec.resolved_setup();
+  ModelZoo& zoo = context.zoo();
+  const VariantSpec variant = experiment_spec.resolved_variant();
+  const std::vector<attack::CampaignSchedule> campaigns =
+      experiment_spec.campaigns.empty() ? attack::standard_campaigns()
+                                        : experiment_spec.campaigns;
+  CampaignOptions options;
+  options.base_seed = experiment_spec.base_seed;
+  options.cache_dir = experiment_spec.cache_dir;
+  options.max_workers = experiment_spec.max_workers;
+  options.verbose = experiment_spec.verbose;
+  options.corruption = experiment_spec.corruption;
+  options.suite = experiment_spec.suite;
+  context.note("campaign: sweep " + setup.tag() + " / " + variant.name);
+
   const auto start = std::chrono::steady_clock::now();
   require(!campaigns.empty(), "run_campaign_sweep: need >= 1 campaign");
   std::vector<std::string> campaign_ids;
@@ -342,6 +360,40 @@ CampaignSweepReport run_campaign_sweep(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return report;
+}
+
+}  // namespace
+
+ExperimentResult run_campaign_experiment(const ExperimentSpec& spec,
+                                         RunContext& context) {
+  spec.validate();  // callers may invoke this runner without the registry
+  ExperimentResult result;
+  result.payload = campaign_impl(spec, context);
+  return result;
+}
+
+CampaignSweepReport run_campaign_sweep(
+    const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
+    const std::vector<attack::CampaignSchedule>& campaigns,
+    const CampaignOptions& options) {
+  // An explicitly empty list is caller error here; only the spec's empty
+  // default means "the standard red-team set".
+  require(!campaigns.empty(), "run_campaign_sweep: need >= 1 campaign");
+  ExperimentSpec spec =
+      ExperimentRegistry::global().default_spec("campaign", setup);
+  spec.base_seed = options.base_seed;
+  spec.variant = variant.name;
+  spec.variant_override = variant;  // pass through verbatim, no name lookup
+  spec.campaigns = campaigns;
+  spec.cache_dir = options.cache_dir;
+  spec.max_workers = options.max_workers;
+  spec.verbose = options.verbose;
+  spec.corruption = options.corruption;
+  spec.suite = options.suite;
+  RunContext context(zoo);
+  return ExperimentRegistry::global()
+      .run(spec, context)
+      .as<CampaignSweepReport>();
 }
 
 }  // namespace safelight::core

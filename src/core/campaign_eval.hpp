@@ -107,6 +107,10 @@ struct CampaignSweepReport {
 /// checks the compromised deployment `phase.checks` times under distinct
 /// probe seeds. Parallel over phases, ResultStore-cached, resumable,
 /// deterministic in (setup, variant, schedules, options).
+///
+/// Deprecated shim: builds an ExperimentSpec and delegates to
+/// ExperimentRegistry::global().run("campaign") — new callers should use
+/// core/experiment.hpp directly.
 CampaignSweepReport run_campaign_sweep(
     const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
     const std::vector<attack::CampaignSchedule>& campaigns,

@@ -1,5 +1,7 @@
 #include "core/detection.hpp"
 
+#include "core/experiment.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -234,13 +236,31 @@ double rank_auc(const std::vector<double>& clean_scores,
                  static_cast<double>(attack_scores.size()));
 }
 
-DetectionReport run_detection_sweep(
-    const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
-    const std::vector<attack::AttackScenario>& grid,
-    const DetectionOptions& options) {
+namespace {
+
+/// The sweep proper, in the unified-API shape: spec in, typed report out.
+DetectionReport detection_impl(const ExperimentSpec& experiment_spec,
+                               RunContext& context) {
+  const ExperimentSetup setup = experiment_spec.resolved_setup();
+  ModelZoo& zoo = context.zoo();
+  const VariantSpec variant = experiment_spec.resolved_variant();
+  const std::vector<attack::AttackScenario> grid =
+      experiment_spec.grid
+          ? *experiment_spec.grid
+          : attack::paper_scenario_grid(experiment_spec.seed_count,
+                                        experiment_spec.base_seed);
+  DetectionOptions options;
+  options.seed_count = experiment_spec.seed_count;
+  options.base_seed = experiment_spec.base_seed;
+  options.clean_runs = experiment_spec.clean_runs;
+  options.cache_dir = experiment_spec.cache_dir;
+  options.max_workers = experiment_spec.max_workers;
+  options.verbose = experiment_spec.verbose;
+  options.corruption = experiment_spec.corruption;
+  options.suite = experiment_spec.suite;
+  context.note("detection: sweep " + setup.tag() + " / " + variant.name);
+
   const auto start = std::chrono::steady_clock::now();
-  require(options.clean_runs > 0,
-          "run_detection_sweep: need >= 1 clean run for the ROC negatives");
 
   // Train (or load) on the calling thread; workers only load cache entries.
   auto model = zoo.get_or_train(setup, variant, options.verbose);
@@ -385,13 +405,51 @@ DetectionReport run_detection_sweep(
   return report;
 }
 
+/// Shared shim body of the two legacy overloads.
+ExperimentSpec detection_spec_of(const ExperimentSetup& setup,
+                                 const VariantSpec& variant,
+                                 const DetectionOptions& options) {
+  ExperimentSpec spec =
+      ExperimentRegistry::global().default_spec("detection", setup);
+  spec.seed_count = options.seed_count;
+  spec.base_seed = options.base_seed;
+  spec.variant = variant.name;
+  spec.variant_override = variant;  // pass through verbatim, no name lookup
+  spec.clean_runs = options.clean_runs;
+  spec.cache_dir = options.cache_dir;
+  spec.max_workers = options.max_workers;
+  spec.verbose = options.verbose;
+  spec.corruption = options.corruption;
+  spec.suite = options.suite;
+  return spec;
+}
+
+}  // namespace
+
+ExperimentResult run_detection_experiment(const ExperimentSpec& spec,
+                                          RunContext& context) {
+  spec.validate();  // callers may invoke this runner without the registry
+  ExperimentResult result;
+  result.payload = detection_impl(spec, context);
+  return result;
+}
+
+DetectionReport run_detection_sweep(
+    const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
+    const std::vector<attack::AttackScenario>& grid,
+    const DetectionOptions& options) {
+  ExperimentSpec spec = detection_spec_of(setup, variant, options);
+  spec.grid = grid;
+  RunContext context(zoo);
+  return ExperimentRegistry::global().run(spec, context).as<DetectionReport>();
+}
+
 DetectionReport run_detection_sweep(const ExperimentSetup& setup,
                                     ModelZoo& zoo, const VariantSpec& variant,
                                     const DetectionOptions& options) {
-  return run_detection_sweep(
-      setup, zoo, variant,
-      attack::paper_scenario_grid(options.seed_count, options.base_seed),
-      options);
+  ExperimentSpec spec = detection_spec_of(setup, variant, options);
+  RunContext context(zoo);
+  return ExperimentRegistry::global().run(spec, context).as<DetectionReport>();
 }
 
 }  // namespace safelight::core

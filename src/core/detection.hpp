@@ -118,6 +118,10 @@ struct DetectionOptions {
 
 /// Detection sweep of `variant` over an explicit scenario grid plus
 /// `options.clean_runs` clean deployments.
+///
+/// Deprecated shim (as is the grid-defaulting overload below): builds an
+/// ExperimentSpec and delegates to ExperimentRegistry::global()
+/// .run("detection") — new callers should use core/experiment.hpp directly.
 DetectionReport run_detection_sweep(
     const ExperimentSetup& setup, ModelZoo& zoo, const VariantSpec& variant,
     const std::vector<attack::AttackScenario>& grid,

@@ -1,0 +1,259 @@
+// Unified experiment API: one spec, one registry, one result shape.
+//
+// Historically each SafeLight sweep grew its own entry point
+// (run_susceptibility, run_mitigation, run_robust_compare,
+// run_detection_sweep, run_campaign_sweep), each with a hand-rolled
+// *Options struct and a bench main that re-implemented env parsing, table
+// printing and CSV writing. This module owns that shape once:
+//
+//   ExperimentSpec      — a tagged superset of the five Options structs;
+//                         validated (no silent clamps), serializable into
+//                         the result metadata.
+//   RunContext          — what every run needs besides the spec: the shared
+//                         ModelZoo, an optional progress callback and an
+//                         optional cooperative cancellation flag.
+//   ExperimentResult    — the typed report payload plus uniform CSV and
+//                         JSON serialization (byte-identical to the legacy
+//                         per-figure bench output, golden-pinned).
+//   ExperimentRegistry  — name -> experiment ("susceptibility",
+//                         "mitigation", "robust_compare", "detection",
+//                         "campaign"); the `safelight` CLI, the bench
+//                         binaries and new callers (services, notebooks)
+//                         all go through it.
+//
+// The legacy run_* signatures still compile; they are thin shims that build
+// a spec and delegate here (see their headers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/campaign_eval.hpp"
+#include "core/detection.hpp"
+#include "core/mitigation.hpp"
+#include "core/robust_compare.hpp"
+#include "core/susceptibility.hpp"
+
+namespace safelight::core {
+
+/// One spec describes one (experiment, model, scale) run completely. It is
+/// a superset of the five legacy Options structs; each experiment reads the
+/// fields it needs and ignores the rest (the unused fields keep their
+/// defaults and do not affect caching).
+struct ExperimentSpec {
+  /// Registry key: "susceptibility", "mitigation", "robust_compare",
+  /// "detection" or "campaign".
+  std::string experiment;
+  nn::ModelId model = nn::ModelId::kCnn1;
+  Scale scale = Scale::kDefault;
+
+  /// Placements per grid cell. 0 means "not set" and is rejected by
+  /// validate(); start from ExperimentRegistry::default_spec() to get the
+  /// experiment's paper default (10 / 3 / 5 / 3 / 1).
+  std::size_t seed_count = 0;
+  std::uint64_t base_seed = 1000;
+
+  /// Deployed variant (detection / campaign sweeps), resolved through
+  /// variant_by_name(variant, l2_strength).
+  std::string variant = "Original";
+  /// Full VariantSpec override for callers holding a variant that name +
+  /// l2_strength cannot reconstruct (custom noise sigma, non-paper name);
+  /// takes precedence over `variant` when set. The legacy detection /
+  /// campaign shims use it to pass their VariantSpec argument through
+  /// unchanged.
+  std::optional<VariantSpec> variant_override;
+  /// robust_compare: pinned robust variant; empty selects via mitigation.
+  std::string robust_variant;
+  float l2_strength = kDefaultL2Strength;
+  /// detection: clean deployments forming the ROC negative class.
+  std::size_t clean_runs = 10;
+
+  /// Result-store directory; empty disables persistence.
+  std::string cache_dir;
+  std::size_t max_workers = 0;
+  bool verbose = false;
+
+  attack::CorruptionConfig corruption{};
+  defense::SuiteConfig suite{};
+
+  /// detection: explicit scenario grid override (paper SIV grid when
+  /// absent).
+  std::optional<std::vector<attack::AttackScenario>> grid;
+  /// campaign: schedules to run (attack::standard_campaigns() when empty).
+  std::vector<attack::CampaignSchedule> campaigns;
+
+  /// Full ExperimentSetup override for callers that customized one; when
+  /// absent the canonical experiment_setup(model, scale) is used.
+  std::optional<ExperimentSetup> setup;
+
+  /// The setup this spec resolves to.
+  ExperimentSetup resolved_setup() const;
+
+  /// The deployed variant this spec resolves to: variant_override when
+  /// set, else variant_by_name(variant, l2_strength).
+  VariantSpec resolved_variant() const;
+
+  /// Field-level validation with actionable messages: rejects
+  /// seed_count == 0, unknown variant names, clean_runs == 0 and (through
+  /// the registry) unknown experiment names. Does not touch the registry,
+  /// so library callers can validate without one.
+  void validate() const;
+};
+
+/// Thrown by RunContext::throw_if_cancelled() when the caller's
+/// cancellation flag is set; sweeps abort between coarse work units.
+class ExperimentCancelled : public std::runtime_error {
+ public:
+  explicit ExperimentCancelled(const std::string& experiment)
+      : std::runtime_error("safelight: experiment '" + experiment +
+                           "' cancelled") {}
+};
+
+/// Everything an experiment run needs besides the spec. The zoo is shared
+/// across experiments of one session (run-all trains each variant exactly
+/// once); progress and cancellation are optional cooperative hooks.
+class RunContext {
+ public:
+  using ProgressFn = std::function<void(const std::string& stage)>;
+
+  explicit RunContext(ModelZoo& zoo) : zoo_(&zoo) {}
+
+  ModelZoo& zoo() const { return *zoo_; }
+
+  /// Invoked at coarse stage boundaries ("train variant", "sweep grid").
+  ProgressFn progress;
+  /// When non-null, experiments poll it between coarse work units and
+  /// abort via ExperimentCancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  void note(const std::string& stage) const {
+    if (progress) progress(stage);
+  }
+  bool cancelled() const { return cancel != nullptr && cancel->load(); }
+  void throw_if_cancelled(const std::string& experiment) const {
+    if (cancelled()) throw ExperimentCancelled(experiment);
+  }
+
+ private:
+  ModelZoo* zoo_;
+};
+
+/// One logical CSV output of an experiment: the file stem (e.g.
+/// "fig7_susceptibility"), its header, and this run's rows. Multi-model
+/// sessions append rows of consecutive runs under one header, reproducing
+/// the legacy bench files byte for byte.
+struct CsvDocument {
+  std::string file_stem;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Typed outcome of one registry run: the experiment's report plus uniform
+/// serialization. wall_seconds is measured by the registry around the run.
+struct ExperimentResult {
+  std::string experiment;
+  ExperimentSpec spec;
+  double wall_seconds = 0.0;
+
+  using Payload =
+      std::variant<SusceptibilityReport, MitigationReport,
+                   RobustComparisonReport, DetectionReport,
+                   CampaignSweepReport>;
+  Payload payload;
+
+  /// The typed report; throws std::invalid_argument naming the experiment
+  /// when T does not match the payload.
+  template <typename T>
+  const T& as() const {
+    const T* typed = std::get_if<T>(&payload);
+    if (typed == nullptr) {
+      fail_argument("ExperimentResult: '" + experiment +
+                    "' does not carry the requested report type");
+    }
+    return *typed;
+  }
+
+  /// CSV serialization, byte-identical to the legacy per-figure bench
+  /// output (golden-pinned at tiny scale).
+  std::vector<CsvDocument> to_csv() const;
+
+  /// Deterministic JSON document (no wall-clock or cache-hit fields), also
+  /// golden-pinned. Covers the spec header plus the full payload.
+  std::string to_json() const;
+};
+
+/// One registered experiment.
+struct ExperimentInfo {
+  std::string name;
+  /// One-line summary shown by `safelight list`.
+  std::string summary;
+  /// Paper-default placements per grid cell (seeds).
+  std::size_t default_seed_count = 1;
+  /// File stems of the CSVs to_csv() emits, in emission order.
+  std::vector<std::string> csv_files;
+  using RunFn =
+      std::function<ExperimentResult(const ExperimentSpec&, RunContext&)>;
+  RunFn run;
+};
+
+/// Name -> experiment registry. The five paper sweeps are registered in the
+/// global() instance; additional experiments can be added at startup.
+class ExperimentRegistry {
+ public:
+  /// Process-wide registry, pre-populated with the five built-ins in
+  /// figure order: susceptibility, mitigation, robust_compare, detection,
+  /// campaign.
+  static ExperimentRegistry& global();
+
+  /// Registers an experiment; throws when the name is empty, already
+  /// taken, or `run` is missing.
+  void add(ExperimentInfo info);
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+  bool contains(const std::string& name) const;
+
+  /// Lookup; throws std::invalid_argument listing the registered names
+  /// when `name` is unknown.
+  const ExperimentInfo& info(const std::string& name) const;
+
+  /// A spec pre-filled with the experiment's defaults (name, paper seed
+  /// count); callers then set model/scale/cache and tweak knobs.
+  ExperimentSpec default_spec(const std::string& name) const;
+
+  /// default_spec(name) with the setup fields filled from an existing
+  /// ExperimentSetup (model, scale and the full setup override stay
+  /// consistent by construction — the legacy run_* shims build on this).
+  ExperimentSpec default_spec(const std::string& name,
+                              const ExperimentSetup& setup) const;
+
+  /// Validates the spec (including the experiment name) and runs it,
+  /// stamping wall_seconds.
+  ExperimentResult run(const ExperimentSpec& spec, RunContext& context) const;
+
+ private:
+  std::vector<ExperimentInfo> experiments_;  // registration order
+};
+
+// Spec-driven runners of the five built-in experiments (the registry's run
+// functions; the legacy run_* signatures shim onto these through the
+// registry). Defined next to each sweep's internals.
+ExperimentResult run_susceptibility_experiment(const ExperimentSpec& spec,
+                                               RunContext& context);
+ExperimentResult run_mitigation_experiment(const ExperimentSpec& spec,
+                                           RunContext& context);
+ExperimentResult run_robust_compare_experiment(const ExperimentSpec& spec,
+                                               RunContext& context);
+ExperimentResult run_detection_experiment(const ExperimentSpec& spec,
+                                          RunContext& context);
+ExperimentResult run_campaign_experiment(const ExperimentSpec& spec,
+                                         RunContext& context);
+
+}  // namespace safelight::core

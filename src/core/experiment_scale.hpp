@@ -17,7 +17,7 @@
 #pragma once
 
 #include "accel/arch.hpp"
-#include "common/env.hpp"
+#include "common/config.hpp"
 #include "nn/models.hpp"
 #include "nn/synthetic.hpp"
 #include "nn/trainer.hpp"
@@ -41,8 +41,10 @@ struct ExperimentSetup {
   std::string tag() const;
 };
 
-/// Canonical setup for a model at a scale (see DESIGN.md §4/§6).
-ExperimentSetup experiment_setup(nn::ModelId id, Scale scale = env_scale());
+/// Canonical setup for a model at a scale. The default resolves through
+/// common/config.hpp (CLI flag > SAFELIGHT_SCALE > default, strict on
+/// unknown names).
+ExperimentSetup experiment_setup(nn::ModelId id, Scale scale = config::scale());
 
 /// Derives a pass-pressure-preserving accelerator for a model with the given
 /// MR-mapped weight counts. Exposed for tests; experiment_setup uses it.

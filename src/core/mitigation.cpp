@@ -3,9 +3,53 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 
 namespace safelight::core {
+
+namespace {
+
+/// The sweep proper, in the unified-API shape: spec in, typed report out.
+MitigationReport mitigation_impl(const ExperimentSpec& spec,
+                                 RunContext& context) {
+  const ExperimentSetup setup = spec.resolved_setup();
+  const auto scenarios =
+      attack::paper_scenario_grid(spec.seed_count, spec.base_seed);
+
+  MitigationReport report;
+  report.model = setup.model;
+
+  PipelineOptions pipeline_options;
+  pipeline_options.cache_dir = spec.cache_dir;
+  pipeline_options.max_workers = spec.max_workers;
+  pipeline_options.verbose = spec.verbose;
+  pipeline_options.corruption = spec.corruption;
+  ScenarioPipeline pipeline(setup, context.zoo(), pipeline_options);
+
+  for (const VariantSpec& variant : paper_variants(spec.l2_strength)) {
+    context.throw_if_cancelled("mitigation");
+    context.note("mitigation: " + setup.tag() + " / " + variant.name);
+    if (spec.verbose) {
+      std::printf("[mitigation] %s / %s\n", setup.tag().c_str(),
+                  variant.name.c_str());
+      std::fflush(stdout);
+    }
+    const SweepResult sweep = pipeline.run(variant, scenarios);
+
+    VariantOutcome outcome;
+    outcome.variant = variant;
+    outcome.baseline_accuracy = sweep.baseline_accuracy;
+    if (variant.is_original()) {
+      report.original_baseline = outcome.baseline_accuracy;
+    }
+    outcome.under_attack = sweep.under_attack();
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace
 
 const VariantOutcome& MitigationReport::best_robust() const {
   require(!outcomes.empty(), "MitigationReport: no outcomes");
@@ -38,38 +82,25 @@ const VariantOutcome& MitigationReport::outcome(
   fail_argument("MitigationReport: unknown variant '" + variant_name + "'");
 }
 
+ExperimentResult run_mitigation_experiment(const ExperimentSpec& spec,
+                                           RunContext& context) {
+  spec.validate();  // callers may invoke this runner without the registry
+  ExperimentResult result;
+  result.payload = mitigation_impl(spec, context);
+  return result;
+}
+
 MitigationReport run_mitigation(const ExperimentSetup& setup, ModelZoo& zoo,
                                 const MitigationOptions& options) {
-  require(options.seed_count > 0, "run_mitigation: need >= 1 seed");
-  const auto scenarios =
-      attack::paper_scenario_grid(options.seed_count, options.base_seed);
-
-  MitigationReport report;
-  report.model = setup.model;
-
-  PipelineOptions pipeline_options;
-  pipeline_options.cache_dir = options.cache_dir;
-  pipeline_options.verbose = options.verbose;
-  ScenarioPipeline pipeline(setup, zoo, pipeline_options);
-
-  for (const VariantSpec& variant : paper_variants(options.l2_strength)) {
-    if (options.verbose) {
-      std::printf("[mitigation] %s / %s\n", setup.tag().c_str(),
-                  variant.name.c_str());
-      std::fflush(stdout);
-    }
-    const SweepResult sweep = pipeline.run(variant, scenarios);
-
-    VariantOutcome outcome;
-    outcome.variant = variant;
-    outcome.baseline_accuracy = sweep.baseline_accuracy;
-    if (variant.is_original()) {
-      report.original_baseline = outcome.baseline_accuracy;
-    }
-    outcome.under_attack = sweep.under_attack();
-    report.outcomes.push_back(std::move(outcome));
-  }
-  return report;
+  ExperimentSpec spec =
+      ExperimentRegistry::global().default_spec("mitigation", setup);
+  spec.seed_count = options.seed_count;
+  spec.base_seed = options.base_seed;
+  spec.l2_strength = options.l2_strength;
+  spec.cache_dir = options.cache_dir;
+  spec.verbose = options.verbose;
+  RunContext context(zoo);
+  return ExperimentRegistry::global().run(spec, context).as<MitigationReport>();
 }
 
 }  // namespace safelight::core

@@ -45,6 +45,10 @@ struct MitigationOptions {
 /// Sweeps every paper variant of `setup`'s model across the full attack
 /// grid (training missing variants through `zoo`) and aggregates each
 /// variant's accuracy distribution.
+///
+/// Deprecated shim: builds an ExperimentSpec and delegates to
+/// ExperimentRegistry::global().run("mitigation") — new callers should use
+/// core/experiment.hpp directly.
 MitigationReport run_mitigation(const ExperimentSetup& setup, ModelZoo& zoo,
                                 const MitigationOptions& options);
 

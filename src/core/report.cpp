@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -43,6 +44,11 @@ std::string TextTable::render() const {
   os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
   for (const auto& row : rows_) emit_row(row);
   return os.str();
+}
+
+void banner(const std::string& title) {
+  std::printf("\n================ %s ================\n", title.c_str());
+  std::fflush(stdout);
 }
 
 std::string pct(double fraction, int precision) {

@@ -26,6 +26,10 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Prints a "================ title ================" banner to stdout and
+/// flushes (shared by the `safelight` CLI and the bench binaries).
+void banner(const std::string& title);
+
 /// Formats a fraction as a percent string ("5.0%").
 std::string pct(double fraction, int precision = 1);
 

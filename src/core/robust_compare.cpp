@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 
 namespace safelight::core {
@@ -17,39 +18,56 @@ const RobustComparisonCell& RobustComparisonReport::cell(
   fail_argument("RobustComparisonReport::cell: no such cell");
 }
 
-RobustComparisonReport run_robust_compare(
-    const ExperimentSetup& setup, ModelZoo& zoo,
-    const RobustCompareOptions& options) {
-  require(options.seed_count > 0, "run_robust_compare: need >= 1 seed");
+namespace {
 
-  std::string robust_name = options.robust_variant;
+/// The comparison proper, in the unified-API shape: spec in, report out.
+RobustComparisonReport robust_compare_impl(const ExperimentSpec& spec,
+                                           RunContext& context) {
+  const ExperimentSetup setup = spec.resolved_setup();
+
+  std::string robust_name = spec.robust_variant;
   if (robust_name.empty()) {
-    MitigationOptions mitigation_options;
-    mitigation_options.seed_count = 3;
-    mitigation_options.base_seed = options.base_seed;
-    mitigation_options.l2_strength = options.l2_strength;
-    mitigation_options.cache_dir = options.cache_dir;
-    mitigation_options.verbose = options.verbose;
-    robust_name =
-        run_mitigation(setup, zoo, mitigation_options).best_robust()
-            .variant.name;
+    // Select via the mitigation sweep at its own paper seed count (3).
+    ExperimentSpec mitigation_spec =
+        ExperimentRegistry::global().default_spec("mitigation");
+    mitigation_spec.model = spec.model;
+    mitigation_spec.scale = spec.scale;
+    mitigation_spec.setup = spec.setup;
+    mitigation_spec.base_seed = spec.base_seed;
+    mitigation_spec.l2_strength = spec.l2_strength;
+    mitigation_spec.cache_dir = spec.cache_dir;
+    mitigation_spec.max_workers = spec.max_workers;
+    mitigation_spec.verbose = spec.verbose;
+    // The selection must rank variants under the same attack model the
+    // comparison below uses.
+    mitigation_spec.corruption = spec.corruption;
+    context.note("robust_compare: selecting robust variant");
+    robust_name = ExperimentRegistry::global()
+                      .run(mitigation_spec, context)
+                      .as<MitigationReport>()
+                      .best_robust()
+                      .variant.name;
   }
+  context.throw_if_cancelled("robust_compare");
 
   // One combined grid (2 vectors x 3 fractions x seeds on CONV+FC), swept
   // once per model through the pipeline; cells are sliced out afterwards.
   const auto grid = attack::scenario_grid(
       {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
       {attack::AttackTarget::kBothBlocks}, {0.01, 0.05, 0.10},
-      options.seed_count, options.base_seed);
+      spec.seed_count, spec.base_seed);
 
   PipelineOptions pipeline_options;
-  pipeline_options.cache_dir = options.cache_dir;
-  pipeline_options.verbose = options.verbose;
-  ScenarioPipeline pipeline(setup, zoo, pipeline_options);
+  pipeline_options.cache_dir = spec.cache_dir;
+  pipeline_options.max_workers = spec.max_workers;
+  pipeline_options.verbose = spec.verbose;
+  pipeline_options.corruption = spec.corruption;
+  ScenarioPipeline pipeline(setup, context.zoo(), pipeline_options);
+  context.note("robust_compare: sweeping Original vs " + robust_name);
   const SweepResult original_sweep =
       pipeline.run(variant_by_name("Original"), grid);
   const SweepResult robust_sweep = pipeline.run(
-      variant_by_name(robust_name, options.l2_strength), grid);
+      variant_by_name(robust_name, spec.l2_strength), grid);
 
   RobustComparisonReport report;
   report.model = setup.model;
@@ -78,6 +96,33 @@ RobustComparisonReport run_robust_compare(
     }
   }
   return report;
+}
+
+}  // namespace
+
+ExperimentResult run_robust_compare_experiment(const ExperimentSpec& spec,
+                                               RunContext& context) {
+  spec.validate();  // callers may invoke this runner without the registry
+  ExperimentResult result;
+  result.payload = robust_compare_impl(spec, context);
+  return result;
+}
+
+RobustComparisonReport run_robust_compare(
+    const ExperimentSetup& setup, ModelZoo& zoo,
+    const RobustCompareOptions& options) {
+  ExperimentSpec spec =
+      ExperimentRegistry::global().default_spec("robust_compare", setup);
+  spec.seed_count = options.seed_count;
+  spec.base_seed = options.base_seed;
+  spec.l2_strength = options.l2_strength;
+  spec.robust_variant = options.robust_variant;
+  spec.cache_dir = options.cache_dir;
+  spec.verbose = options.verbose;
+  RunContext context(zoo);
+  return ExperimentRegistry::global()
+      .run(spec, context)
+      .as<RobustComparisonReport>();
 }
 
 }  // namespace safelight::core

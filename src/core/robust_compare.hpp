@@ -48,9 +48,13 @@ struct RobustCompareOptions {
   bool verbose = false;
 };
 
-/// Selects the most robust variant (via run_mitigation unless pinned in
-/// `options`) and compares it against Original across both attack vectors
-/// at 1/5/10 % of the total MR population.
+/// Selects the most robust variant (via the mitigation sweep unless pinned
+/// in `options`) and compares it against Original across both attack
+/// vectors at 1/5/10 % of the total MR population.
+///
+/// Deprecated shim: builds an ExperimentSpec and delegates to
+/// ExperimentRegistry::global().run("robust_compare") — new callers should
+/// use core/experiment.hpp directly.
 RobustComparisonReport run_robust_compare(const ExperimentSetup& setup,
                                           ModelZoo& zoo,
                                           const RobustCompareOptions& options);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 
 namespace safelight::core {
@@ -15,6 +16,51 @@ bool scenario_in_group(const attack::AttackScenario& s,
                        attack::AttackTarget target, double fraction) {
   return s.vector == vector && s.target == target &&
          std::abs(s.fraction - fraction) < 1e-12;
+}
+
+/// The sweep proper, in the unified-API shape: spec in, typed report out.
+SusceptibilityReport susceptibility_impl(const ExperimentSpec& spec,
+                                         RunContext& context) {
+  const ExperimentSetup setup = spec.resolved_setup();
+  context.note("susceptibility: sweep " + setup.tag());
+  PipelineOptions pipeline_options;
+  pipeline_options.cache_dir = spec.cache_dir;
+  pipeline_options.max_workers = spec.max_workers;
+  pipeline_options.verbose = spec.verbose;
+  pipeline_options.corruption = spec.corruption;
+  ScenarioPipeline pipeline(setup, context.zoo(), pipeline_options);
+  const SweepResult sweep = pipeline.run_paper_grid(
+      variant_by_name("Original"), spec.seed_count, spec.base_seed);
+
+  SusceptibilityReport report;
+  report.model = setup.model;
+  report.baseline_accuracy = sweep.baseline_accuracy;
+  report.rows.reserve(sweep.rows.size());
+  for (const auto& outcome : sweep.rows) {
+    report.rows.push_back({outcome.scenario, outcome.accuracy});
+  }
+
+  // Aggregate into the 18 groups (2 vectors x 3 targets x 3 fractions).
+  for (attack::AttackVector vector :
+       {attack::AttackVector::kActuation, attack::AttackVector::kHotspot}) {
+    for (attack::AttackTarget target :
+         {attack::AttackTarget::kConvBlock, attack::AttackTarget::kFcBlock,
+          attack::AttackTarget::kBothBlocks}) {
+      for (double fraction : {0.01, 0.05, 0.10}) {
+        std::vector<double> values;
+        for (const auto& row : report.rows) {
+          if (scenario_in_group(row.scenario, vector, target, fraction)) {
+            values.push_back(row.accuracy);
+          }
+        }
+        SAFELIGHT_ASSERT(!values.empty(),
+                         "run_susceptibility: empty scenario group");
+        report.groups.push_back(
+            {vector, target, fraction, box_stats(std::move(values))});
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace
@@ -55,46 +101,27 @@ std::vector<SusceptibilityRow> evaluate_grid(
   return rows;
 }
 
+ExperimentResult run_susceptibility_experiment(const ExperimentSpec& spec,
+                                               RunContext& context) {
+  spec.validate();  // callers may invoke this runner without the registry
+  ExperimentResult result;
+  result.payload = susceptibility_impl(spec, context);
+  return result;
+}
+
 SusceptibilityReport run_susceptibility(
     const ExperimentSetup& setup, ModelZoo& zoo,
     const SusceptibilityOptions& options) {
-  require(options.seed_count > 0, "run_susceptibility: need >= 1 seed");
-  PipelineOptions pipeline_options;
-  pipeline_options.cache_dir = options.cache_dir;
-  pipeline_options.verbose = options.verbose;
-  ScenarioPipeline pipeline(setup, zoo, pipeline_options);
-  const SweepResult sweep = pipeline.run_paper_grid(
-      variant_by_name("Original"), options.seed_count, options.base_seed);
-
-  SusceptibilityReport report;
-  report.model = setup.model;
-  report.baseline_accuracy = sweep.baseline_accuracy;
-  report.rows.reserve(sweep.rows.size());
-  for (const auto& outcome : sweep.rows) {
-    report.rows.push_back({outcome.scenario, outcome.accuracy});
-  }
-
-  // Aggregate into the 18 groups (2 vectors x 3 targets x 3 fractions).
-  for (attack::AttackVector vector :
-       {attack::AttackVector::kActuation, attack::AttackVector::kHotspot}) {
-    for (attack::AttackTarget target :
-         {attack::AttackTarget::kConvBlock, attack::AttackTarget::kFcBlock,
-          attack::AttackTarget::kBothBlocks}) {
-      for (double fraction : {0.01, 0.05, 0.10}) {
-        std::vector<double> values;
-        for (const auto& row : report.rows) {
-          if (scenario_in_group(row.scenario, vector, target, fraction)) {
-            values.push_back(row.accuracy);
-          }
-        }
-        SAFELIGHT_ASSERT(!values.empty(),
-                         "run_susceptibility: empty scenario group");
-        report.groups.push_back(
-            {vector, target, fraction, box_stats(std::move(values))});
-      }
-    }
-  }
-  return report;
+  ExperimentSpec spec =
+      ExperimentRegistry::global().default_spec("susceptibility", setup);
+  spec.seed_count = options.seed_count;
+  spec.base_seed = options.base_seed;
+  spec.cache_dir = options.cache_dir;
+  spec.verbose = options.verbose;
+  RunContext context(zoo);
+  return ExperimentRegistry::global()
+      .run(spec, context)
+      .as<SusceptibilityReport>();
 }
 
 }  // namespace safelight::core

@@ -57,6 +57,10 @@ struct SusceptibilityOptions {
 };
 
 /// Full analysis for one model setup using its Original variant from `zoo`.
+///
+/// Deprecated shim: builds an ExperimentSpec and delegates to
+/// ExperimentRegistry::global().run("susceptibility") — new callers should
+/// use core/experiment.hpp directly.
 SusceptibilityReport run_susceptibility(const ExperimentSetup& setup,
                                         ModelZoo& zoo,
                                         const SusceptibilityOptions& options);

@@ -20,7 +20,8 @@ VariantSpec variant_by_name(const std::string& name, float l2_strength) {
   for (const auto& variant : paper_variants(l2_strength)) {
     if (variant.name == name) return variant;
   }
-  fail_argument("variant_by_name: unknown variant '" + name + "'");
+  fail_argument("variant_by_name: unknown variant '" + name +
+                "' (valid variants: Original, L2_reg, l2+n1 .. l2+n9)");
 }
 
 nn::TrainConfig apply_variant(const nn::TrainConfig& base,

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "common/env.hpp"
+#include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
 #include "nn/serialize.hpp"
@@ -12,9 +12,7 @@
 namespace safelight::core {
 
 ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {
-  if (directory_.empty()) {
-    directory_ = env_string("SAFELIGHT_ZOO", "safelight_zoo");
-  }
+  if (directory_.empty()) directory_ = config::zoo_dir();
   std::filesystem::create_directories(directory_);
 }
 

@@ -24,7 +24,12 @@ ModelId model_id_from_string(const std::string& name) {
   if (name == "cnn1") return ModelId::kCnn1;
   if (name == "resnet18") return ModelId::kResNet18;
   if (name == "vgg16v") return ModelId::kVgg16v;
-  fail_argument("model_id_from_string: unknown model '" + name + "'");
+  fail_argument("model_id_from_string: unknown model '" + name +
+                "' (valid models: cnn1, resnet18, vgg16v)");
+}
+
+std::vector<ModelId> paper_models() {
+  return {ModelId::kCnn1, ModelId::kResNet18, ModelId::kVgg16v};
 }
 
 std::unique_ptr<Sequential> make_cnn1(const ModelConfig& config) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "nn/sequential.hpp"
 
@@ -37,6 +38,10 @@ enum class ModelId { kCnn1, kResNet18, kVgg16v };
 
 std::string to_string(ModelId id);
 ModelId model_id_from_string(const std::string& name);
+
+/// The paper's three CNN models, in figure order (the default model set of
+/// the `safelight` CLI and the bench binaries).
+std::vector<ModelId> paper_models();
 
 std::unique_ptr<Sequential> make_cnn1(const ModelConfig& config);
 std::unique_ptr<Sequential> make_resnet18(const ModelConfig& config);

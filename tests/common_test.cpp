@@ -6,11 +6,14 @@
 #include <cstdlib>
 #include <filesystem>
 #include <numeric>
+#include <optional>
 #include <set>
 
+#include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -360,6 +363,174 @@ TEST(Error, RequireThrowsWithPrefix) {
 TEST(Error, AssertMacroThrowsLogicError) {
   EXPECT_THROW(SAFELIGHT_ASSERT(false, "invariant"), std::logic_error);
   EXPECT_NO_THROW(SAFELIGHT_ASSERT(true, "fine"));
+}
+
+// ---------------------------------------------------------------- config
+
+/// RAII env-var pin (process-wide; safe because gtest runs cases of one
+/// binary serially).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (previous_) {
+      ::setenv(name_.c_str(), previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
+
+TEST(Config, ScalePrecedenceCliOverEnvOverDefault) {
+  ScopedEnv env("SAFELIGHT_SCALE", "tiny");
+  EXPECT_EQ(config::scale(), Scale::kTiny);  // env beats default
+  {
+    config::Overrides cli;
+    cli.scale = Scale::kFull;
+    config::ScopedOverrides guard(cli);
+    EXPECT_EQ(config::scale(), Scale::kFull);  // CLI beats env
+  }
+  EXPECT_EQ(config::scale(), Scale::kTiny);  // guard restored
+}
+
+TEST(Config, ScaleDefaultsWhenUnset) {
+  ::unsetenv("SAFELIGHT_SCALE");
+  EXPECT_EQ(config::scale(), Scale::kDefault);
+}
+
+TEST(Config, ScaleRejectsUnknownValueLoudly) {
+  ScopedEnv env("SAFELIGHT_SCALE", "banana");
+  EXPECT_THROW(config::scale(), std::invalid_argument);
+  EXPECT_THROW(config::parse_scale("huge"), std::invalid_argument);
+  try {
+    config::parse_scale("huge");
+  } catch (const std::invalid_argument& e) {
+    // Actionable: names the valid values.
+    EXPECT_NE(std::string(e.what()).find("tiny"), std::string::npos);
+  }
+}
+
+TEST(Config, SeedCountPrecedenceAndValidation) {
+  {
+    ScopedEnv env("SAFELIGHT_SEEDS", "7");
+    EXPECT_EQ(config::seed_count(3), 7u);  // env beats fallback
+    config::Overrides cli;
+    cli.seed_count = 5;
+    config::ScopedOverrides guard(cli);
+    EXPECT_EQ(config::seed_count(3), 5u);  // CLI beats env
+  }
+  ::unsetenv("SAFELIGHT_SEEDS");
+  EXPECT_EQ(config::seed_count(3), 3u);  // per-experiment fallback
+  {
+    ScopedEnv zero("SAFELIGHT_SEEDS", "0");
+    EXPECT_THROW(config::seed_count(3), std::invalid_argument);  // no clamp
+  }
+  // Non-numeric values fail loudly too, instead of env_int's silent
+  // fall-back to the default.
+  ScopedEnv junk("SAFELIGHT_SEEDS", "ten");
+  EXPECT_THROW(config::seed_count(3), std::invalid_argument);
+  ScopedEnv partial("SAFELIGHT_SEEDS", "3x10");
+  EXPECT_THROW(config::seed_count(3), std::invalid_argument);
+}
+
+TEST(Config, DirectoryKnobsFollowPrecedence) {
+  ScopedEnv env("SAFELIGHT_ZOO", "/tmp/safelight_test_cfg_env_zoo");
+  EXPECT_EQ(config::zoo_dir(), "/tmp/safelight_test_cfg_env_zoo");
+  config::Overrides cli;
+  cli.zoo_dir = "/tmp/safelight_test_cfg_cli_zoo";
+  cli.out_dir = "/tmp/safelight_test_cfg_cli_out";
+  config::ScopedOverrides guard(cli);
+  EXPECT_EQ(config::zoo_dir(), "/tmp/safelight_test_cfg_cli_zoo");
+  EXPECT_EQ(config::out_dir(), "/tmp/safelight_test_cfg_cli_out");
+  EXPECT_TRUE(std::filesystem::exists("/tmp/safelight_test_cfg_cli_out"));
+  std::filesystem::remove_all("/tmp/safelight_test_cfg_cli_out");
+}
+
+TEST(Config, ThreadsAlwaysAtLeastOne) {
+  ::unsetenv("SAFELIGHT_THREADS");
+  EXPECT_GE(config::threads(), 1u);
+  config::Overrides cli;
+  cli.threads = 3;
+  config::ScopedOverrides guard(cli);
+  EXPECT_EQ(config::threads(), 3u);
+}
+
+TEST(Config, ThreadsRejectsBogusEnvValues) {
+  {
+    ScopedEnv junk("SAFELIGHT_THREADS", "abc");
+    EXPECT_THROW(config::threads(), std::invalid_argument);
+  }
+  ScopedEnv negative("SAFELIGHT_THREADS", "-2");
+  EXPECT_THROW(config::threads(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, RendersNestedDocumentDeterministically) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("safelight");
+  json.key("count").value(2);
+  json.key("accuracy").value(0.51234567, 4);
+  json.key("flag").value(true);
+  json.key("missing").null_value();
+  json.key("rows").begin_array();
+  json.begin_object();
+  json.key("id").value(std::uint64_t{7});
+  json.end_object();
+  json.end_array();
+  json.key("empty").begin_array();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(std::move(json).str(),
+            "{\n"
+            "  \"name\": \"safelight\",\n"
+            "  \"count\": 2,\n"
+            "  \"accuracy\": 0.5123,\n"
+            "  \"flag\": true,\n"
+            "  \"missing\": null,\n"
+            "  \"rows\": [\n"
+            "    {\n"
+            "      \"id\": 7\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty\": []\n"
+            "}\n");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("text").value(std::string("a\"b\\c\nd\te") + '\x01');
+  json.end_object();
+  EXPECT_NE(std::move(json).str().find("a\\\"b\\\\c\\nd\\te\\u0001"),
+            std::string::npos);
+}
+
+TEST(Json, StructuralMisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), std::logic_error);  // mismatched end
+    EXPECT_THROW(std::move(json).str(), std::logic_error);  // still open
+  }
 }
 
 }  // namespace

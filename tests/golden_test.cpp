@@ -1,10 +1,15 @@
-// Golden-file regression tests: tiny-scale fig7 and fig_detection CSV
-// content is checked in under tests/golden/ and must regenerate
-// byte-identically. The whole stack under the published numbers — synthetic
-// data, training, conditioning, the packed GEMM, the prefix-activation
-// cache, the thread-pool fan-out, detector scoring — is deterministic by
-// contract; these tests turn that contract into a tripwire, so a kernel,
-// cache or threading change can never silently shift the figures again.
+// Golden-file regression tests: tiny-scale CSV/JSON content is checked in
+// under tests/golden/ and must regenerate byte-identically. The whole stack
+// under the published numbers — synthetic data, training, conditioning, the
+// packed GEMM, the prefix-activation cache, the thread-pool fan-out,
+// detector scoring — is deterministic by contract; these tests turn that
+// contract into a tripwire, so a kernel, cache or threading change can
+// never silently shift the figures again.
+//
+// Since the unified experiment API (core/experiment.hpp), all documents are
+// produced through ExperimentResult::to_csv()/to_json() — the exact code
+// path of the `safelight` CLI and the per-figure bench wrappers — so these
+// goldens also pin "CLI output == legacy bench output".
 //
 // To regenerate after an *intentional* numbers change:
 //   SAFELIGHT_UPDATE_GOLDEN=1 ctest -R Golden
@@ -16,10 +21,8 @@
 #include <sstream>
 #include <string>
 
-#include "common/csv.hpp"
 #include "common/env.hpp"
-#include "core/detection.hpp"
-#include "core/susceptibility.hpp"
+#include "core/experiment.hpp"
 #include "test_util.hpp"
 
 #ifndef SAFELIGHT_GOLDEN_DIR
@@ -73,71 +76,84 @@ void expect_matches_golden(const std::string& content,
   FAIL() << name << " differs from the regenerated content";
 }
 
-core::ExperimentSetup tiny_setup() {
-  return core::experiment_setup(nn::ModelId::kCnn1, Scale::kTiny);
+/// Renders the documents of one result exactly as the `safelight` CLI
+/// writes them: header row, then data rows; multiple documents of one
+/// experiment concatenate in emission order.
+std::string render_csv(const core::ExperimentResult& result) {
+  std::string out;
+  for (const core::CsvDocument& doc : result.to_csv()) {
+    for (std::size_t c = 0; c < doc.header.size(); ++c) {
+      if (c != 0) out += ',';
+      out += doc.header[c];
+    }
+    out += '\n';
+    for (const auto& row : doc.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c != 0) out += ',';
+        out += row[c];
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+core::ExperimentSpec tiny_spec(const std::string& experiment,
+                               const std::string& cache_dir) {
+  core::ExperimentSpec spec =
+      core::ExperimentRegistry::global().default_spec(experiment);
+  spec.model = nn::ModelId::kCnn1;
+  spec.scale = Scale::kTiny;
+  spec.cache_dir = cache_dir;
+  return spec;
 }
 
 TEST(Golden, Fig7SusceptibilityCnn1Tiny) {
   TempDir dir("golden_fig7");
-  const core::ExperimentSetup setup = tiny_setup();
   core::ModelZoo zoo(dir.path());
-  core::SusceptibilityOptions options;
-  options.seed_count = 2;
-  const core::SusceptibilityReport report =
-      core::run_susceptibility(setup, zoo, options);
+  core::RunContext context(zoo);
+  core::ExperimentSpec spec = tiny_spec("susceptibility", dir.path());
+  spec.seed_count = 2;
+  const core::ExperimentResult result =
+      core::ExperimentRegistry::global().run(spec, context);
 
-  // Exactly the fig7_susceptibility.csv row format (bench/fig7).
-  std::string csv = "model,vector,target,fraction,seed,accuracy,baseline\n";
-  for (const auto& row : report.rows) {
-    csv += nn::to_string(setup.model) + "," +
-           attack::to_string(row.scenario.vector) + "," +
-           attack::to_string(row.scenario.target) + "," +
-           fmt_double(row.scenario.fraction, 2) + "," +
-           std::to_string(row.scenario.seed) + "," +
-           fmt_double(row.accuracy, 4) + "," +
-           fmt_double(report.baseline_accuracy, 4) + "\n";
-  }
-  expect_matches_golden(csv, "fig7_cnn1_tiny.csv");
+  // Exactly the fig7_susceptibility.csv content a
+  // `safelight run susceptibility --model cnn1` writes at this spec.
+  expect_matches_golden(render_csv(result), "fig7_cnn1_tiny.csv");
+
+  // The JSON document of the same run (`--json`), pinning the full
+  // serialization stack: writer layout, escaping, number formatting.
+  expect_matches_golden(result.to_json(), "susceptibility_cnn1_tiny.json");
 }
 
 TEST(Golden, FigDetectionCnn1Tiny) {
   TempDir dir("golden_fig_detection");
-  const core::ExperimentSetup setup = tiny_setup();
   core::ModelZoo zoo(dir.path());
-  core::DetectionOptions options;
-  options.seed_count = 1;
-  options.clean_runs = 3;
-  const core::DetectionReport report = core::run_detection_sweep(
-      setup, zoo, core::variant_by_name("Original"), options);
+  core::RunContext context(zoo);
+  core::ExperimentSpec spec = tiny_spec("detection", dir.path());
+  spec.seed_count = 1;
+  spec.clean_runs = 3;
+  const core::ExperimentResult result =
+      core::ExperimentRegistry::global().run(spec, context);
 
-  // Exactly the fig_detection.csv row format (bench/fig_detection).
-  std::string csv =
-      "model,run,clean,vector,target,fraction,seed,detector,score,flagged,"
-      "probes,first_flag_probe\n";
-  for (const auto& row : report.rows) {
-    csv += nn::to_string(setup.model) + "," + row.run_id + "," +
-           (row.clean ? "1" : "0") + "," +
-           (row.clean ? "" : attack::to_string(row.scenario.vector)) + "," +
-           (row.clean ? "" : attack::to_string(row.scenario.target)) + "," +
-           (row.clean ? "0" : fmt_double(row.scenario.fraction, 2)) + "," +
-           (row.clean ? "" : std::to_string(row.scenario.seed)) + "," +
-           row.detector + "," + fmt_double(row.score, 6) + "," +
-           (row.flagged ? "1" : "0") + "," + std::to_string(row.probes) +
-           "," + std::to_string(row.first_flag_probe) + "\n";
-  }
-  // The ROC curves ride along in the same golden (fig_detection_roc.csv
-  // format): they are a pure function of the scores, but pinning them
-  // catches regressions in the curve/threshold assembly itself.
-  csv += "model,detector,threshold,tpr,fpr\n";
-  for (const std::string& detector : report.detectors) {
-    const core::RocCurve curve = report.roc(detector);
-    for (const auto& point : curve.points) {
-      csv += nn::to_string(setup.model) + "," + detector + "," +
-             fmt_double(point.threshold, 6) + "," +
-             fmt_double(point.tpr, 4) + "," + fmt_double(point.fpr, 4) + "\n";
-    }
-  }
-  expect_matches_golden(csv, "fig_detection_cnn1_tiny.csv");
+  // fig_detection.csv + fig_detection_roc.csv, concatenated in emission
+  // order — the score rows and the ROC curves assembled from them.
+  expect_matches_golden(render_csv(result), "fig_detection_cnn1_tiny.csv");
+}
+
+TEST(Golden, FigCampaignCnn1Tiny) {
+  TempDir dir("golden_fig_campaign");
+  core::ModelZoo zoo(dir.path());
+  core::RunContext context(zoo);
+  // Empty spec.campaigns selects attack::standard_campaigns() — the same
+  // red-team set `safelight run campaign` sweeps.
+  const core::ExperimentSpec spec = tiny_spec("campaign", dir.path());
+  const core::ExperimentResult result =
+      core::ExperimentRegistry::global().run(spec, context);
+
+  // fig_campaign_phases.csv + fig_campaign.csv, concatenated in emission
+  // order — per-phase accuracies and the raw per-check detector scores.
+  expect_matches_golden(render_csv(result), "fig_campaign_cnn1_tiny.csv");
 }
 
 }  // namespace
