@@ -15,10 +15,16 @@
 #    computational, not cache reuse).
 # Ends with a per-phase wall-time summary. CI uploads $SMOKE_DIR/out as
 # the experiment artifact bundle (see .github/workflows/ci.yml).
+#
+# SAFELIGHT_SANITIZE=ON builds with ASan+UBSan and runs the unit,
+# integration and fault ctest shards only: the sweep-smoke shard and the
+# CLI/bench smokes re-cover the same code paths at ~10x sanitizer cost,
+# and the fault harness's child processes inherit the instrumentation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+SANITIZE="${SAFELIGHT_SANITIZE:-OFF}"
 
 TIMING_NAMES=()
 TIMING_SECS=()
@@ -38,27 +44,45 @@ if command -v ccache >/dev/null; then
 fi
 
 phase_start "configure"
-cmake -B "$BUILD_DIR" -S . "${CMAKE_LAUNCHER_ARGS[@]}" >/dev/null
+cmake -B "$BUILD_DIR" -S . "${CMAKE_LAUNCHER_ARGS[@]}" \
+      -DSAFELIGHT_SANITIZE="$SANITIZE" >/dev/null
 phase_end
 
 phase_start "build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 phase_end
 
-# The suite runs as three labelled shards (labels assigned per test binary
-# in tests/CMakeLists.txt) so the timing summary shows where test time goes
-# and cheap shards fail fast before the sweep-driving ones start.
-for shard in unit integration sweep-smoke; do
+# The suite runs as labelled shards (labels assigned per test binary in
+# tests/CMakeLists.txt) so the timing summary shows where test time goes
+# and cheap shards fail fast before the sweep-driving ones start. The
+# fault shard pulls the plug on child `safelight` processes and proves the
+# crash-resume contract (docs/testing.md).
+SHARDS=(unit integration sweep-smoke fault)
+if [[ "$SANITIZE" == "ON" ]]; then
+  SHARDS=(unit integration fault)
+fi
+for shard in "${SHARDS[@]}"; do
   phase_start "ctest ($shard)"
   ctest --test-dir "$BUILD_DIR" -L "^${shard}$" --output-on-failure -j "$(nproc)"
   phase_end
 done
 # Every test must belong to exactly one shard; an unlabelled test would
 # silently never run above.
-UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
+UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke|fault)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
 if [[ "$UNLABELLED" != "0" ]]; then
   echo "error: $UNLABELLED ctest case(s) carry no shard label" >&2
   exit 1
+fi
+
+if [[ "$SANITIZE" == "ON" ]]; then
+  echo "== sanitize mode: skipping sweep-smoke shard and CLI/bench smokes =="
+  echo "== all checks passed =="
+  echo
+  echo "== timing summary =="
+  for i in "${!TIMING_NAMES[@]}"; do
+    printf '  %-32s %4ss\n' "${TIMING_NAMES[$i]}" "${TIMING_SECS[$i]}"
+  done
+  exit 0
 fi
 
 phase_start "safelight list"

@@ -1,6 +1,8 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -10,6 +12,7 @@
 #include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
@@ -36,7 +39,13 @@ constexpr const char* kUsage =
     "  --zoo <dir>          trained-model and result-store cache directory\n"
     "  --threads <N>        worker threads\n"
     "  --json               also write per-(experiment, model) JSON\n"
-    "  --verbose            per-scenario progress output\n";
+    "  --verbose            per-scenario progress output\n"
+    "\n"
+    "fault injection (crash-consistency testing, docs/testing.md):\n"
+    "  --fault-mode <m>     none | independent | run_length | uniform\n"
+    "  --fault-point <p>    only pull the plug at this named point\n"
+    "  --fault-n <N>        crash on the N-th matched hit (run_length),\n"
+    "                       or draw the hit uniformly from [1, N] (uniform)\n";
 
 struct CliOptions {
   std::vector<nn::ModelId> models;  // resolved; paper models when no --model
@@ -45,6 +54,32 @@ struct CliOptions {
 };
 
 using core::banner;
+
+/// Cooperative-cancellation flag shared with the experiment RunContext.
+/// SIGINT (and request_cancel(), the test seam) sets it; sweeps then abort
+/// between coarse work units via ExperimentCancelled — completed scenarios
+/// are already flushed to the result stores, so the next identical run
+/// resumes instead of restarting.
+std::atomic<bool> g_cancel_requested{false};
+
+extern "C" void handle_cancel_signal(int) {
+  g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Installs the SIGINT handler for the duration of one cli::run and always
+/// leaves the flag cleared for the next invocation (embedders and tests
+/// call run() repeatedly in one process).
+class ScopedCancelScope {
+ public:
+  ScopedCancelScope() { previous_ = std::signal(SIGINT, handle_cancel_signal); }
+  ~ScopedCancelScope() {
+    if (previous_ != SIG_ERR) std::signal(SIGINT, previous_);
+    g_cancel_requested.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  void (*previous_)(int) = SIG_ERR;
+};
 
 /// Strict decimal parse: digits only (std::stoull would wrap "-1" to a
 /// huge positive and accept trailing garbage).
@@ -98,6 +133,14 @@ CliOptions parse_flags(const std::vector<std::string>& args,
       overrides.zoo_dir = value();
     } else if (flag == "--threads") {
       overrides.threads = positive_int(flag, value());
+    } else if (flag == "--fault-mode") {
+      const std::string& mode = value();
+      fault::parse_mode(mode);  // reject typos at the flag boundary
+      overrides.fault_mode = mode;
+    } else if (flag == "--fault-point") {
+      overrides.fault_point = value();
+    } else if (flag == "--fault-n") {
+      overrides.fault_n = positive_int(flag, value());
     } else if (flag == "--json") {
       options.json = true;
     } else if (flag == "--verbose") {
@@ -108,6 +151,9 @@ CliOptions parse_flags(const std::vector<std::string>& args,
   }
   if (options.models.empty()) options.models = nn::paper_models();
   config::set_overrides(overrides);
+  // Arm (or disarm) fault injection from the now-complete flag > env >
+  // default resolution; every durable write below this point is a ptp site.
+  fault::init_from_config();
   return options;
 }
 
@@ -307,6 +353,7 @@ int cmd_run(const std::vector<std::string>& experiments,
   const std::string out_dir = config::out_dir();
   core::ModelZoo zoo;
   core::RunContext context(zoo);
+  context.cancel = &g_cancel_requested;
   context.progress = [&](const std::string& stage) {
     std::printf("  . %s\n", stage.c_str());
     std::fflush(stdout);
@@ -366,6 +413,7 @@ int cmd_run(const std::vector<std::string>& experiments,
         const std::string path =
             out_dir + "/" + name + "_" + nn::to_string(model) + ".json";
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        fault::ptp("cli.json.write");  // crash: truncated (empty) JSON file
         out << result.to_json();
         require(out.good(), "failed to write " + path);
       }
@@ -414,7 +462,19 @@ int cmd_run(const std::vector<std::string>& experiments,
 
 }  // namespace
 
+void request_cancel() {
+  g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
 int run(const std::vector<std::string>& args) {
+  ScopedCancelScope cancel_scope;
+  // An armed fault run reports every point's hit count on the way out (a
+  // pulled plug _Exits before reaching this, exactly like a real crash).
+  struct ReportScope {
+    ~ReportScope() {
+      if (fault::armed()) std::fprintf(stderr, "%s", fault::report().c_str());
+    }
+  } report_scope;
   try {
     if (args.empty() || args[0] == "help" || args[0] == "--help" ||
         args[0] == "-h") {
@@ -439,6 +499,12 @@ int run(const std::vector<std::string>& args) {
     }
     fail_argument("unknown command '" + command +
                   "' (see 'safelight help')");
+  } catch (const core::ExperimentCancelled& error) {
+    std::fprintf(stderr,
+                 "%s (completed scenarios stay cached; rerun the same "
+                 "command to resume)\n",
+                 error.what());
+    return 130;  // 128 + SIGINT, the conventional interrupted-run code
   } catch (const std::invalid_argument& error) {
     std::fprintf(stderr, "%s\n", error.what());
     return 2;

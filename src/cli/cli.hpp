@@ -18,6 +18,11 @@
 //   --json                           also write per-(experiment, model)
 //                                    JSON documents
 //   --verbose                        per-scenario progress output
+//   --fault-mode <m>                 fault injection: none | independent |
+//                                    run_length | uniform_over_run
+//   --fault-point <name>             restrict injection to one named point
+//   --fault-n <N>                    run length for run_length /
+//                                    uniform_over_run
 //
 // The per-figure bench binaries (bench/fig7_susceptibility, ...) are thin
 // wrappers over run(); the CSVs they emit are byte-identical to a
@@ -31,7 +36,15 @@ namespace safelight::cli {
 
 /// Runs the CLI on `args` (argv without the program name). Returns the
 /// process exit code: 0 on success, 2 on a usage error, 1 on a runtime
-/// failure. Installs config overrides from flags; errors go to stderr.
+/// failure, 130 when the run was cancelled (SIGINT or request_cancel).
+/// A fault-armed run that pulls the plug _Exits with
+/// fault::kPlugPulledExitCode (42) instead of returning. Installs config
+/// overrides from flags; errors go to stderr. SIGINT requests cooperative
+/// cancellation for the duration of the call (handler restored on return).
 int run(const std::vector<std::string>& args);
+
+/// Test seam: flags the next (or current) run() for cooperative
+/// cancellation, exactly as SIGINT would. run() clears the flag on return.
+void request_cancel();
 
 }  // namespace safelight::cli

@@ -80,7 +80,16 @@ std::string out_dir() {
   std::string dir = mutable_overrides().out_dir
                         ? *mutable_overrides().out_dir
                         : env_string("SAFELIGHT_OUT", "safelight_out");
-  std::filesystem::create_directories(dir);
+  // error_code overload + explicit throw: the default filesystem_error text
+  // buries the path; sweeps must fail on this *before* any work starts,
+  // with a message that says what to change.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create output directory '" + dir +
+                             "': " + ec.message() +
+                             " (pass a writable --out directory)");
+  }
   return dir;
 }
 
@@ -100,6 +109,41 @@ std::size_t threads() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::string fault_mode() {
+  if (mutable_overrides().fault_mode) return *mutable_overrides().fault_mode;
+  return env_string("SAFELIGHT_FAULT_MODE", "none");
+}
+
+std::string fault_point() {
+  if (mutable_overrides().fault_point) return *mutable_overrides().fault_point;
+  return env_string("SAFELIGHT_FAULT_POINT", "");
+}
+
+std::uint64_t fault_n() {
+  if (mutable_overrides().fault_n) return *mutable_overrides().fault_n;
+  const std::int64_t v = strict_env_int("SAFELIGHT_FAULT_N").value_or(1);
+  require(v >= 1, "SAFELIGHT_FAULT_N must be >= 1 (got " + std::to_string(v) +
+                      "); the plug is pulled on the n-th matched hit");
+  return static_cast<std::uint64_t>(v);
+}
+
+double fault_prob() {
+  const char* raw = std::getenv("SAFELIGHT_FAULT_PROB");
+  if (raw == nullptr || raw[0] == '\0') return 0.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  require(end != raw && *end == '\0',
+          std::string("SAFELIGHT_FAULT_PROB must be a number (got '") + raw +
+              "')");
+  return parsed;
+}
+
+std::uint64_t fault_seed() {
+  const std::int64_t v = strict_env_int("SAFELIGHT_FAULT_SEED").value_or(1);
+  require(v >= 0, "SAFELIGHT_FAULT_SEED must be >= 0");
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace safelight::config

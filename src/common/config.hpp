@@ -14,11 +14,17 @@
 // scale), closing the silent-clamp bug class.
 //
 // Knobs and their environment variables:
-//   scale()       SAFELIGHT_SCALE    "tiny" | "default" | "full"
-//   seed_count()  SAFELIGHT_SEEDS    placements per grid cell (>= 1)
-//   out_dir()     SAFELIGHT_OUT      CSV/JSON output directory
-//   zoo_dir()     SAFELIGHT_ZOO      trained-model + result-store cache
-//   threads()     SAFELIGHT_THREADS  worker threads (>= 1)
+//   scale()       SAFELIGHT_SCALE        "tiny" | "default" | "full"
+//   seed_count()  SAFELIGHT_SEEDS        placements per grid cell (>= 1)
+//   out_dir()     SAFELIGHT_OUT          CSV/JSON output directory
+//   zoo_dir()     SAFELIGHT_ZOO          trained-model + result-store cache
+//   threads()     SAFELIGHT_THREADS      worker threads (>= 1)
+//   fault_mode()  SAFELIGHT_FAULT_MODE   fault injection (common/fault.hpp):
+//                                        none|independent|run_length|uniform
+//   fault_point() SAFELIGHT_FAULT_POINT  fault-point filter (empty = all)
+//   fault_n()     SAFELIGHT_FAULT_N      run length of the injected crash
+//   fault_prob()  SAFELIGHT_FAULT_PROB   independent-mode plug probability
+//   fault_seed()  SAFELIGHT_FAULT_SEED   seed of the injection draws
 #pragma once
 
 #include <cstddef>
@@ -39,6 +45,9 @@ struct Overrides {
   std::optional<std::string> zoo_dir;
   std::optional<std::size_t> threads;
   std::optional<std::uint64_t> base_seed;
+  std::optional<std::string> fault_mode;
+  std::optional<std::string> fault_point;
+  std::optional<std::uint64_t> fault_n;
 };
 
 /// Installs `overrides` as the process-wide CLI layer (replacing any
@@ -89,5 +98,23 @@ std::string zoo_dir();
 /// Worker-thread count: CLI > SAFELIGHT_THREADS > hardware concurrency.
 /// Always >= 1. Note safelight::worker_count() caches this on first use.
 std::size_t threads();
+
+/// Fault-injection mode name: CLI > SAFELIGHT_FAULT_MODE > "none". Returned
+/// verbatim; fault::parse_mode rejects unknown names with the valid list.
+std::string fault_mode();
+
+/// Fault-point filter: CLI > SAFELIGHT_FAULT_POINT > "" (every point).
+std::string fault_point();
+
+/// Injected-crash run length: CLI > SAFELIGHT_FAULT_N > 1. Values < 1 are
+/// rejected (the plug is pulled on the n-th matched hit, 1-based).
+std::uint64_t fault_n();
+
+/// Independent-mode plug probability: SAFELIGHT_FAULT_PROB > 0.0. Out-of-
+/// range values are rejected by fault::init.
+double fault_prob();
+
+/// Seed of the fault-injection draws: SAFELIGHT_FAULT_SEED > 1.
+std::uint64_t fault_seed();
 
 }  // namespace safelight::config

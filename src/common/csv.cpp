@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.hpp"
+
 namespace safelight {
 
 CsvWriter::CsvWriter(const std::string& path,
@@ -12,6 +14,7 @@ CsvWriter::CsvWriter(const std::string& path,
   if (!out_) {
     throw std::runtime_error("CsvWriter: cannot open " + path);
   }
+  fault::ptp("out.csv.create");  // crash: truncated (empty) output file
   if (!header.empty()) row(header);
 }
 
@@ -20,6 +23,9 @@ void CsvWriter::row(const std::vector<std::string>& fields) {
     if (i) out_ << ',';
     out_ << fields[i];
   }
+  if (fault::armed()) out_.flush();
+  fault::ptp("out.csv.row");  // crash: torn row; the writer truncates on
+                              // open, so a rerun rewrites the whole file
   out_ << '\n';
   out_.flush();
 }

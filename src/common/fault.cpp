@@ -1,0 +1,168 @@
+#include "common/fault.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace safelight::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// All mutable subsystem state behind one mutex. Only touched when armed;
+/// the disarmed fast path never takes the lock (see ptp()).
+struct State {
+  FaultConfig config;
+  std::uint64_t matched_hits = 0;
+  /// kUniformOverRun: the length drawn at init() time.
+  std::uint64_t drawn_run_length = 0;
+  std::mt19937_64 rng{1};
+  /// Ordered by name so report() is stable across runs.
+  std::map<std::string, std::uint64_t> hits;
+  std::mutex mutex;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+[[noreturn]] void pull_the_plug(const char* point, std::uint64_t hit_number) {
+  // stderr only, flushed explicitly: stdout may hold half a table that a
+  // real power cut would also have lost.
+  std::fprintf(stderr,
+               "[fault] pulling the plug at '%s' (matched hit %" PRIu64
+               ", mode %s)\n",
+               point, hit_number, to_string(state().config.mode).c_str());
+  std::fflush(stderr);
+  // _Exit: no atexit handlers, no static destructors, no stream flushing —
+  // the closest a process can get to losing power mid-write.
+  std::_Exit(kPlugPulledExitCode);
+}
+
+}  // namespace
+
+Mode parse_mode(const std::string& name) {
+  if (name == "none") return Mode::kNone;
+  if (name == "independent") return Mode::kIndependent;
+  if (name == "run_length") return Mode::kRunLength;
+  if (name == "uniform") return Mode::kUniformOverRun;
+  fail_argument("unknown fault mode '" + name +
+                "' (valid modes: none, independent, run_length, uniform)");
+}
+
+std::string to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kNone: return "none";
+    case Mode::kIndependent: return "independent";
+    case Mode::kRunLength: return "run_length";
+    case Mode::kUniformOverRun: return "uniform";
+  }
+  fail_invariant("fault::to_string: bad mode");
+}
+
+void init(const FaultConfig& config) {
+  if (config.mode == Mode::kIndependent) {
+    require(config.independent_prob >= 0.0 && config.independent_prob <= 1.0,
+            "fault: independent_prob must be in [0, 1] (got " +
+                std::to_string(config.independent_prob) + ")");
+  }
+  if (config.mode == Mode::kRunLength || config.mode == Mode::kUniformOverRun) {
+    require(config.run_length >= 1,
+            "fault: run_length must be >= 1 (the plug is pulled on the n-th "
+            "matched hit)");
+  }
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.config = config;
+  s.matched_hits = 0;
+  s.hits.clear();
+  s.rng.seed(config.seed);
+  s.drawn_run_length = 0;
+  if (config.mode == Mode::kUniformOverRun) {
+    s.drawn_run_length = std::uniform_int_distribution<std::uint64_t>(
+        1, config.run_length)(s.rng);
+  }
+  detail::g_armed.store(config.mode != Mode::kNone,
+                        std::memory_order_relaxed);
+}
+
+void init_from_config() {
+  FaultConfig fault_config;
+  fault_config.mode = parse_mode(config::fault_mode());
+  fault_config.point = config::fault_point();
+  fault_config.run_length = config::fault_n();
+  fault_config.independent_prob = config::fault_prob();
+  fault_config.seed = config::fault_seed();
+  init(fault_config);
+}
+
+void reset() { init(FaultConfig{}); }
+
+bool armed() { return detail::g_armed.load(std::memory_order_relaxed); }
+
+std::vector<PointHits> counters() {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<PointHits> out;
+  out.reserve(s.hits.size());
+  for (const auto& [point, hits] : s.hits) out.push_back({point, hits});
+  return out;
+}
+
+std::string report() {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::string out = "[fault] report: mode=" + to_string(s.config.mode) +
+                    " point=" +
+                    (s.config.point.empty() ? "*" : s.config.point) +
+                    " matched_hits=" + std::to_string(s.matched_hits) + "\n";
+  for (const auto& [point, hits] : s.hits) {
+    out += "[fault]   " + point + " hits=" + std::to_string(hits) + "\n";
+  }
+  return out;
+}
+
+namespace detail {
+
+void hit(const char* point) {
+  auto& s = state();
+  bool fire = false;
+  std::uint64_t hit_number = 0;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    // Counters track every point regardless of the filter: one counting
+    // run (independent, p=0) enumerates the live instrumentation surface.
+    ++s.hits[point];
+    if (!s.config.point.empty() && s.config.point != point) return;
+    hit_number = ++s.matched_hits;
+    switch (s.config.mode) {
+      case Mode::kIndependent:
+        fire = s.config.independent_prob > 0.0 &&
+               std::bernoulli_distribution(s.config.independent_prob)(s.rng);
+        break;
+      case Mode::kRunLength:
+        fire = hit_number == s.config.run_length;
+        break;
+      case Mode::kUniformOverRun:
+        fire = hit_number == s.drawn_run_length;
+        break;
+      case Mode::kNone:
+        break;
+    }
+  }
+  if (fire) pull_the_plug(point, hit_number);
+}
+
+}  // namespace detail
+
+}  // namespace safelight::fault

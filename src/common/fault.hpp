@@ -1,0 +1,120 @@
+// Deterministic fault-point injection ("pull the plug") for crash-
+// consistency testing, modeled on katana's libtsuba FaultTest.
+//
+// Every durable write path in SafeLight — result-store appends, zoo/model
+// serialization, the CLI's CSV/JSON emitters — passes through named
+// fault::ptp("...") points. In normal operation a point is a single relaxed
+// atomic load (disarmed, no-op), so hot paths are unaffected. When armed
+// via init() / init_from_config(), each hit increments a per-point counter
+// and, depending on the mode, may terminate the process abruptly with
+// std::_Exit(kPlugPulledExitCode) — no destructors, no stream flushing —
+// simulating a power cut at exactly that byte boundary.
+//
+// Modes (katana FaultMode, same semantics):
+//   kNone            disarmed; ptp() is a no-op branch
+//   kIndependent     each matched hit pulls the plug with probability p
+//                    (p = 0 arms pure hit *counting*: nothing ever fires,
+//                    report() enumerates every live point and its hits)
+//   kRunLength       the plug is pulled on exactly the n-th matched hit
+//   kUniformOverRun  a run length is drawn uniformly from [1, n] at init()
+//                    time from the seeded RNG, then behaves like kRunLength
+//
+// "Matched" means the hit's point name equals the configured point filter
+// (an empty filter matches every point). Counters always track every point
+// regardless of the filter, so one counting run enumerates the full live
+// instrumentation surface.
+//
+// Activation follows the common/config precedence rule (CLI flag >
+// SAFELIGHT_FAULT_* env > off); see config::fault_mode() and the
+// `safelight` CLI's --fault-mode/--fault-point/--fault-n flags. The
+// crash-consistency contract this subsystem exists to prove is tested by
+// tests/fault_injection_test.cpp and documented in docs/testing.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safelight::fault {
+
+/// Process exit code of a pulled plug; the test harness distinguishes an
+/// injected crash from ordinary failures by it.
+inline constexpr int kPlugPulledExitCode = 42;
+
+enum class Mode { kNone, kIndependent, kRunLength, kUniformOverRun };
+
+/// Parses a mode name ("none" | "independent" | "run_length" | "uniform");
+/// throws std::invalid_argument listing the valid names on anything else.
+Mode parse_mode(const std::string& name);
+
+/// Human-readable mode name.
+std::string to_string(Mode mode);
+
+/// One arming of the subsystem.
+struct FaultConfig {
+  Mode mode = Mode::kNone;
+  /// kIndependent: per-hit plug probability in [0, 1].
+  double independent_prob = 0.0;
+  /// kRunLength / kUniformOverRun: the (maximum) matched-hit count; >= 1.
+  std::uint64_t run_length = 1;
+  /// Only hits at this point participate in the plug decision; empty
+  /// matches every point. Counters are unaffected by the filter.
+  std::string point;
+  /// Seeds the kIndependent draws and the kUniformOverRun length draw, so
+  /// an injected crash reproduces exactly.
+  std::uint64_t seed = 1;
+};
+
+/// (Re-)arms the subsystem: installs `config`, clears all counters and
+/// reseeds the RNG. Mode kNone disarms. Throws std::invalid_argument on an
+/// out-of-range probability or a zero run length.
+void init(const FaultConfig& config);
+
+/// Arms from the resolved configuration knobs (CLI > SAFELIGHT_FAULT_* env
+/// > disarmed); the `safelight` CLI calls this after flag parsing.
+void init_from_config();
+
+/// Disarms and clears all counters (tests).
+void reset();
+
+/// True when a mode other than kNone is installed.
+bool armed();
+
+/// Hit counter of one point since the last init()/reset().
+struct PointHits {
+  std::string point;
+  std::uint64_t hits = 0;
+};
+
+/// All points hit since the last init()/reset(), sorted by name.
+std::vector<PointHits> counters();
+
+/// Multi-line summary of the armed config and every point's hit count, one
+/// "[fault]   <point> hits=<n>" line per point (the fault harness parses
+/// these lines to enumerate the live instrumentation surface).
+std::string report();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void hit(const char* point);
+}  // namespace detail
+
+/// Pull-the-plug point. Place immediately before/between the byte writes of
+/// a durable operation; when the armed decision fires, the process exits via
+/// std::_Exit — whatever was flushed so far is exactly what a real crash
+/// would have left on disk. Disarmed cost: one relaxed atomic load.
+inline void ptp(const char* point) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) detail::hit(point);
+}
+
+/// RAII arming for tests: init(config) now, reset() on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultConfig& config) { init(config); }
+  ~ScopedFault() { reset(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace safelight::fault

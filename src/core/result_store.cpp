@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault.hpp"
+
 namespace safelight::core {
 
 namespace {
@@ -17,11 +19,58 @@ std::string format_value(double value) {
   return buf;
 }
 
+/// Deletes every `*.tmp` file in `directory` with a warning line. Writers
+/// in the cache directory (nn::save_model and friends) stage durable files
+/// as `<target>.tmp` + atomic rename; a crash between the two leaves the
+/// orphan behind, and nothing would ever reclaim it. Cache directories have
+/// a single live writer by contract (sharding will need liveness checks
+/// here), so any `.tmp` present at open time is dead.
+void sweep_orphaned_temp_files(const std::filesystem::path& directory) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) return;  // directory missing/unreadable: nothing to sweep
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != ".tmp") {
+      continue;
+    }
+    std::error_code remove_ec;
+    std::filesystem::remove(entry.path(), remove_ec);
+    if (!remove_ec) {
+      std::fprintf(stderr,
+                   "[store] removed orphaned temp file %s (left by an "
+                   "interrupted writer)\n",
+                   entry.path().c_str());
+    }
+  }
+}
+
+/// Truncates `path` back to its last complete ('\n'-terminated) line. The
+/// JSONL mirror is append-only telemetry: a record torn by a crash must not
+/// merge with the next append into one corrupt line.
+void truncate_torn_tail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t last_newline = content.rfind('\n');
+  const std::size_t keep =
+      last_newline == std::string::npos ? 0 : last_newline + 1;
+  if (keep != content.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+  }
+}
+
 }  // namespace
 
 ResultStore::ResultStore(std::string csv_path, std::string jsonl_path)
     : csv_path_(std::move(csv_path)), jsonl_path_(std::move(jsonl_path)) {
   if (csv_path_.empty()) return;
+  const std::filesystem::path parent =
+      std::filesystem::path(csv_path_).parent_path();
+  sweep_orphaned_temp_files(parent.empty() ? "." : parent);
+  if (!jsonl_path_.empty()) truncate_torn_tail(jsonl_path_);
   // Hand-rolled tolerant parse: an interrupted run may leave a torn final
   // row, which must not prevent the resume it exists to enable. Every
   // complete row ends with '\n' (put() writes row + newline + flush), so an
@@ -78,20 +127,33 @@ void ResultStore::put(const std::string& key, double value) {
 }
 
 void ResultStore::append_to_disk(const std::string& key, double value) {
+  // The fault::ptp points sit at the nastiest byte boundaries a crash can
+  // hit; the mid-row flushes that make the torn state real are taken only
+  // when injection is armed, so the normal path keeps its single flush.
   if (!csv_path_.empty()) {
     const bool fresh = !std::filesystem::exists(csv_path_);
     std::ofstream out(csv_path_, std::ios::app);
     if (out) {
-      if (fresh) out << "key,accuracy\n";
-      out << key << ',' << format_value(value) << '\n';
+      if (fresh) {
+        out << "key,accuracy\n";
+        if (fault::armed()) out.flush();
+        fault::ptp("store.csv.create");  // crash: header-only file
+      }
+      out << key << ',';
+      if (fault::armed()) out.flush();
+      fault::ptp("store.csv.append");  // crash: torn row (key, no value)
+      out << format_value(value) << '\n';
       out.flush();
+      fault::ptp("store.csv.flush");  // crash: row fully durable
     }
   }
   if (!jsonl_path_.empty()) {
     std::ofstream out(jsonl_path_, std::ios::app);
     if (out) {
-      out << "{\"key\":\"" << key << "\",\"accuracy\":" << format_value(value)
-          << "}\n";
+      out << "{\"key\":\"" << key << "\",";
+      if (fault::armed()) out.flush();
+      fault::ptp("store.jsonl.append");  // crash: torn mirror record
+      out << "\"accuracy\":" << format_value(value) << "}\n";
       out.flush();
     }
   }

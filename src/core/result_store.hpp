@@ -26,7 +26,13 @@ class ResultStore {
   /// previous (possibly interrupted) run, its rows are loaded so lookups
   /// hit instead of re-evaluating; malformed rows (e.g. a torn final line
   /// from a mid-write kill) are skipped, not fatal. `jsonl_path` non-empty
-  /// additionally appends one JSON object per new entry to that file.
+  /// additionally appends one JSON object per new entry to that file; a
+  /// torn trailing mirror record is truncated away on open. Opening also
+  /// sweeps (deletes, with a warning) orphaned `*.tmp` staging files a
+  /// crashed writer left in the store's directory — cache directories have
+  /// one live writer by contract. Every durable write carries fault::ptp
+  /// crash points (see common/fault.hpp); the resume-after-any-crash
+  /// contract is proven by tests/fault_injection_test.cpp.
   explicit ResultStore(std::string csv_path, std::string jsonl_path = "");
 
   /// Value stored under `key`, or nullopt when missing.

@@ -6,6 +6,7 @@
 
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/fingerprint.hpp"
 #include "nn/serialize.hpp"
 
@@ -82,6 +83,9 @@ std::unique_ptr<nn::Sequential> ModelZoo::get_or_train(
                 variant.name.c_str(), history.final_test_acc);
     std::fflush(stdout);
   }
+  // Crash here: the training work is lost but nothing is on disk; a resumed
+  // run retrains deterministically to bit-identical weights (golden-pinned).
+  fault::ptp("zoo.entry.train_save");
   nn::save_model(*model, path);
   return model;
 }

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace safelight::nn {
 
@@ -80,10 +81,35 @@ void save_model(Sequential& model, const std::string& path) {
   const std::uint64_t checksum = fnv1a(buffer);
   append(buffer, checksum);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_model: cannot open " + path);
-  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-  if (!out) throw std::runtime_error("save_model: write failed for " + path);
+  // Stage-and-rename: a crash anywhere before the rename leaves `path`
+  // untouched (either absent or the previous valid file) plus a `.tmp`
+  // orphan that ResultStore's open sweep reclaims; a crash after the rename
+  // leaves the complete new file. No crash point can leave a half-written
+  // model under `path` — load_model's checksum is the backstop, not the
+  // first line of defense. The fault::ptp points pin each boundary (see
+  // common/fault.hpp and tests/fault_injection_test.cpp).
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_model: cannot open " + tmp_path);
+    const std::streamsize half =
+        static_cast<std::streamsize>(buffer.size() / 2);
+    out.write(buffer.data(), half);
+    if (fault::armed()) out.flush();
+    fault::ptp("nn.serialize.tmp_write");  // crash: half-written tmp orphan
+    out.write(buffer.data() + half,
+              static_cast<std::streamsize>(buffer.size()) - half);
+    if (!out) {
+      throw std::runtime_error("save_model: write failed for " + tmp_path);
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("save_model: flush failed for " + tmp_path);
+    }
+  }
+  fault::ptp("nn.serialize.rename");  // crash: complete tmp orphan, no entry
+  std::filesystem::rename(tmp_path, path);
+  fault::ptp("nn.serialize.committed");  // crash: just after the commit
 }
 
 namespace {

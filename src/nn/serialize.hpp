@@ -17,7 +17,10 @@
 
 namespace safelight::nn {
 
-/// Saves all parameters and state tensors of `model` to `path`.
+/// Saves all parameters and state tensors of `model` to `path`, staged
+/// through `path + ".tmp"` and committed with an atomic rename — a crash at
+/// any byte boundary leaves either the previous file or the complete new
+/// one, never a torn mix (fault-point instrumented, see common/fault.hpp).
 /// Throws std::runtime_error on I/O failure.
 void save_model(Sequential& model, const std::string& path);
 

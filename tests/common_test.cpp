@@ -13,6 +13,7 @@
 #include "common/csv.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -470,6 +471,156 @@ TEST(Config, ThreadsRejectsBogusEnvValues) {
   }
   ScopedEnv negative("SAFELIGHT_THREADS", "-2");
   EXPECT_THROW(config::threads(), std::invalid_argument);
+}
+
+TEST(Config, FaultKnobsFollowPrecedence) {
+  ::unsetenv("SAFELIGHT_FAULT_MODE");
+  ::unsetenv("SAFELIGHT_FAULT_POINT");
+  ::unsetenv("SAFELIGHT_FAULT_N");
+  EXPECT_EQ(config::fault_mode(), "none");
+  EXPECT_EQ(config::fault_point(), "");
+  EXPECT_EQ(config::fault_n(), 1u);
+  EXPECT_DOUBLE_EQ(config::fault_prob(), 0.0);
+  EXPECT_EQ(config::fault_seed(), 1u);
+
+  ScopedEnv mode("SAFELIGHT_FAULT_MODE", "run_length");
+  ScopedEnv point("SAFELIGHT_FAULT_POINT", "store.csv.append");
+  ScopedEnv n("SAFELIGHT_FAULT_N", "3");
+  ScopedEnv prob("SAFELIGHT_FAULT_PROB", "0.25");
+  ScopedEnv seed("SAFELIGHT_FAULT_SEED", "9");
+  EXPECT_EQ(config::fault_mode(), "run_length");  // env beats default
+  EXPECT_EQ(config::fault_point(), "store.csv.append");
+  EXPECT_EQ(config::fault_n(), 3u);
+  EXPECT_DOUBLE_EQ(config::fault_prob(), 0.25);
+  EXPECT_EQ(config::fault_seed(), 9u);
+
+  config::Overrides cli;
+  cli.fault_mode = "uniform";
+  cli.fault_point = "out.csv.row";
+  cli.fault_n = 5;
+  config::ScopedOverrides guard(cli);
+  EXPECT_EQ(config::fault_mode(), "uniform");  // CLI beats env
+  EXPECT_EQ(config::fault_point(), "out.csv.row");
+  EXPECT_EQ(config::fault_n(), 5u);
+}
+
+TEST(Config, FaultKnobsRejectBogusEnvValues) {
+  {
+    ScopedEnv zero("SAFELIGHT_FAULT_N", "0");
+    EXPECT_THROW(config::fault_n(), std::invalid_argument);
+  }
+  {
+    ScopedEnv junk("SAFELIGHT_FAULT_N", "three");
+    EXPECT_THROW(config::fault_n(), std::invalid_argument);
+  }
+  ScopedEnv junk_prob("SAFELIGHT_FAULT_PROB", "0.5x");
+  EXPECT_THROW(config::fault_prob(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- fault
+
+TEST(Fault, DisarmedPtpIsANoop) {
+  fault::reset();
+  EXPECT_FALSE(fault::armed());
+  fault::ptp("never.recorded");  // must neither crash nor count
+  EXPECT_TRUE(fault::counters().empty());
+}
+
+TEST(Fault, CountingModeCountsEveryPointRegardlessOfFilter) {
+  // independent with probability 0 arms pure counting: nothing fires, and
+  // the counters enumerate every live point even though the match filter
+  // names only one of them.
+  fault::FaultConfig config;
+  config.mode = fault::Mode::kIndependent;
+  config.independent_prob = 0.0;
+  config.point = "only.this";
+  fault::ScopedFault scoped(config);
+  ASSERT_TRUE(fault::armed());
+
+  fault::ptp("only.this");
+  fault::ptp("other.point");
+  fault::ptp("other.point");
+
+  const auto counters = fault::counters();
+  ASSERT_EQ(counters.size(), 2u);  // sorted by name
+  EXPECT_EQ(counters[0].point, "only.this");
+  EXPECT_EQ(counters[0].hits, 1u);
+  EXPECT_EQ(counters[1].point, "other.point");
+  EXPECT_EQ(counters[1].hits, 2u);
+
+  const std::string report = fault::report();
+  EXPECT_NE(report.find("mode=independent"), std::string::npos);
+  EXPECT_NE(report.find("point=only.this"), std::string::npos);
+  EXPECT_NE(report.find("matched_hits=1"), std::string::npos);  // filtered
+  EXPECT_NE(report.find("[fault]   only.this hits=1"), std::string::npos);
+  EXPECT_NE(report.find("[fault]   other.point hits=2"), std::string::npos);
+}
+
+TEST(Fault, ScopedFaultDisarmsAndClearsOnExit) {
+  {
+    fault::FaultConfig config;
+    config.mode = fault::Mode::kIndependent;
+    fault::ScopedFault scoped(config);
+    fault::ptp("scoped.point");
+    EXPECT_EQ(fault::counters().size(), 1u);
+  }
+  EXPECT_FALSE(fault::armed());
+  EXPECT_TRUE(fault::counters().empty());
+}
+
+TEST(Fault, InitRejectsOutOfRangeConfigs) {
+  fault::FaultConfig bad_prob;
+  bad_prob.mode = fault::Mode::kIndependent;
+  bad_prob.independent_prob = 1.5;
+  EXPECT_THROW(fault::init(bad_prob), std::invalid_argument);
+  bad_prob.independent_prob = -0.1;
+  EXPECT_THROW(fault::init(bad_prob), std::invalid_argument);
+
+  fault::FaultConfig bad_run;
+  bad_run.mode = fault::Mode::kRunLength;
+  bad_run.run_length = 0;
+  EXPECT_THROW(fault::init(bad_run), std::invalid_argument);
+  bad_run.mode = fault::Mode::kUniformOverRun;
+  EXPECT_THROW(fault::init(bad_run), std::invalid_argument);
+  EXPECT_FALSE(fault::armed());  // a rejected init never arms
+}
+
+TEST(Fault, ParseModeNamesRoundTripAndRejectTypos) {
+  EXPECT_EQ(fault::parse_mode("none"), fault::Mode::kNone);
+  EXPECT_EQ(fault::parse_mode("independent"), fault::Mode::kIndependent);
+  EXPECT_EQ(fault::parse_mode("run_length"), fault::Mode::kRunLength);
+  EXPECT_EQ(fault::parse_mode("uniform"), fault::Mode::kUniformOverRun);
+  for (const fault::Mode mode :
+       {fault::Mode::kNone, fault::Mode::kIndependent, fault::Mode::kRunLength,
+        fault::Mode::kUniformOverRun}) {
+    EXPECT_EQ(fault::parse_mode(fault::to_string(mode)), mode);
+  }
+  try {
+    fault::parse_mode("sometimes");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("run_length"), std::string::npos);
+  }
+}
+
+TEST(FaultDeathTest, RunLengthPullsThePlugOnExactlyTheNthMatchedHit) {
+  // The plug is an abrupt std::_Exit(42): assert via a death test that the
+  // first matched hit survives and the second one kills the process.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        fault::FaultConfig config;
+        config.mode = fault::Mode::kRunLength;
+        config.point = "unit.point";
+        config.run_length = 2;
+        fault::init(config);
+        fault::ptp("ignored.point");  // filtered out: never matches
+        fault::ptp("unit.point");     // matched hit 1: survives
+        fault::ptp("unit.point");     // matched hit 2: plug pulled
+        std::_Exit(0);                // not reached
+      },
+      ::testing::ExitedWithCode(fault::kPlugPulledExitCode),
+      "pulling the plug at 'unit.point'");
 }
 
 // ---------------------------------------------------------------- json

@@ -7,9 +7,13 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <system_error>
 
 #include "attacks/campaign.hpp"
+#include "cli/cli.hpp"
+#include "common/config.hpp"
 #include "core/experiment.hpp"
 #include "test_util.hpp"
 
@@ -258,6 +262,99 @@ TEST(ExperimentSweep, RunAllSharesOneZooWithoutRetraining) {
     EXPECT_EQ(std::filesystem::last_write_time(entry), trained_at)
         << name << " retrained the shared variant";
   }
+}
+
+// ---------------------------------------------------------------------------
+// CLI error paths: every nonzero exit code, with its exact documented
+// message where the text is load-bearing for scripts that parse it. Each
+// test calls cli::run in-process; the guard restores the global config
+// overrides cli::run installs.
+// ---------------------------------------------------------------------------
+
+/// Runs the CLI in-process with stdout/stderr captured.
+struct CapturedCli {
+  int exit_code;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+CapturedCli run_cli_captured(const std::vector<std::string>& args) {
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const int rc = cli::run(args);
+  return {rc, testing::internal::GetCapturedStdout(),
+          testing::internal::GetCapturedStderr()};
+}
+
+TEST(CliErrorPaths, UnknownExperimentExitsTwoAndListsWhatIsRegistered) {
+  config::ScopedOverrides guard(config::overrides());
+  const CapturedCli result = run_cli_captured({"run", "susceptibilty"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.stderr_text,
+            "safelight: ExperimentRegistry: unknown experiment "
+            "'susceptibilty' (registered: susceptibility, mitigation, "
+            "robust_compare, detection, campaign)\n");
+}
+
+TEST(CliErrorPaths, UsageErrorsExitTwoWithTheDocumentedMessages) {
+  config::ScopedOverrides guard(config::overrides());
+
+  const CapturedCli missing_name = run_cli_captured({"run"});
+  EXPECT_EQ(missing_name.exit_code, 2);
+  EXPECT_EQ(missing_name.stderr_text,
+            "safelight: 'safelight run' needs an experiment name (try "
+            "'safelight list')\n");
+
+  const CapturedCli bad_flag =
+      run_cli_captured({"run", "susceptibility", "--frobnicate"});
+  EXPECT_EQ(bad_flag.exit_code, 2);
+  EXPECT_EQ(bad_flag.stderr_text,
+            "safelight: unknown flag '--frobnicate' (see 'safelight "
+            "help')\n");
+
+  const CapturedCli bad_mode =
+      run_cli_captured({"run", "susceptibility", "--fault-mode", "sometimes"});
+  EXPECT_EQ(bad_mode.exit_code, 2);
+  EXPECT_EQ(bad_mode.stderr_text,
+            "safelight: unknown fault mode 'sometimes' (valid modes: none, "
+            "independent, run_length, uniform)\n");
+}
+
+TEST(CliErrorPaths, UnwritableOutDirectoryExitsOneBeforeAnyWork) {
+  config::ScopedOverrides guard(config::overrides());
+  TempDir dir("cli_unwritable_out");
+  // Root ignores permission bits, so an unwritable path is made by routing
+  // the directory through a regular file (ENOTDIR) instead of chmod 000.
+  const std::string blocker = dir.path() + "/blocker.txt";
+  { std::ofstream(blocker) << "not a directory\n"; }
+  const std::string bad_out = blocker + "/out";
+
+  const CapturedCli result = run_cli_captured(
+      {"run", "susceptibility", "--model", "cnn1", "--scale", "tiny",
+       "--out", bad_out, "--zoo", dir.path() + "/zoo"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stderr_text,
+            "safelight: cannot create output directory '" + bad_out + "': " +
+                std::make_error_code(std::errc::not_a_directory).message() +
+                " (pass a writable --out directory)\n");
+  // It failed before training anything into the zoo.
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/zoo"));
+}
+
+TEST(CliErrorPaths, CancellationExitsOneThirtyWithTheResumeHint) {
+  config::ScopedOverrides guard(config::overrides());
+  TempDir dir("cli_cancel");
+  // The deterministic stand-in for ^C mid-sweep: the flag is already set
+  // when the sweep reaches its first cooperative checkpoint.
+  cli::request_cancel();
+  const CapturedCli result = run_cli_captured(
+      {"run", "susceptibility", "--model", "cnn1", "--scale", "tiny",
+       "--seeds", "1", "--out", dir.path() + "/out", "--zoo",
+       dir.path() + "/zoo"});
+  EXPECT_EQ(result.exit_code, 130);
+  EXPECT_EQ(result.stderr_text,
+            "safelight: experiment 'susceptibility' cancelled (completed "
+            "scenarios stay cached; rerun the same command to resume)\n");
 }
 
 TEST(ExperimentSweep, CancellationAbortsBeforeWork) {

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "core/experiment.hpp"
 #include "test_util.hpp"
 
@@ -45,6 +46,7 @@ void expect_matches_golden(const std::string& content,
   if (env_int("SAFELIGHT_UPDATE_GOLDEN", 0) != 0) {
     std::filesystem::create_directories(SAFELIGHT_GOLDEN_DIR);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fault::ptp("golden.update.write");  // crash: truncated golden file
     out << content;
     ASSERT_TRUE(out.good()) << "failed to write " << path;
     GTEST_SKIP() << "golden updated: " << path;

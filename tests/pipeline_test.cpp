@@ -167,6 +167,35 @@ TEST(ResultStore, TruncatedJsonlMirrorNeverAffectsResume) {
   EXPECT_NE(last.find("\"key\":\"k/3\""), std::string::npos);
 }
 
+TEST(ResultStore, OpenSweepsOrphanedTempFilesWithAWarning) {
+  // A crash between nn::save_model's tmp write and its atomic rename
+  // leaves `<target>.tmp` behind; nothing else ever reclaims it. Opening a
+  // store in that directory (one live writer by contract) must delete
+  // exactly the orphans, warn about each, and leave real files alone.
+  TempDir dir("result_store_orphans");
+  const std::string orphan = dir.path() + "/model.slw.tmp";
+  const std::string keeper = dir.path() + "/model.slw";
+  const std::string decoy_dir = dir.path() + "/subdir.tmp";
+  { std::ofstream(orphan) << "half-written weights"; }
+  { std::ofstream(keeper) << "committed weights"; }
+  std::filesystem::create_directories(decoy_dir);  // not a regular file
+
+  testing::internal::CaptureStderr();
+  ResultStore store(dir.path() + "/store.csv");
+  const std::string warning = testing::internal::GetCapturedStderr();
+
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_TRUE(std::filesystem::exists(keeper));
+  EXPECT_TRUE(std::filesystem::exists(decoy_dir));
+  EXPECT_EQ(warning, "[store] removed orphaned temp file " + orphan +
+                         " (left by an interrupted writer)\n");
+
+  // A second open has nothing left to sweep.
+  testing::internal::CaptureStderr();
+  ResultStore reopened(dir.path() + "/store.csv");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(ResultStore, StreamsJsonlMirror) {
   TempDir dir("result_store_jsonl");
   const std::string csv = dir.path() + "/store.csv";

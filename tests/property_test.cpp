@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
+#include "attacks/actuation.hpp"
 #include "attacks/corruption.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
 #include "nn/activation.hpp"
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
@@ -250,6 +254,74 @@ TEST_P(CorruptionFuzzProperty, NeverProducesNonFiniteWeights) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzzProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ------------------------------------------------ rng stream independence
+
+TEST(RngStreamProperty, AdjacentDerivedSeedsProduceDisjointStreams) {
+  // Sweeps hand out consecutive small integers as stream ids (base_seed + i,
+  // placement s, s + 1, ...); seed_combine's splitmix64 mixing must turn
+  // them into streams that neither agree at any position nor revisit each
+  // other's values within a realistic draw budget. A regression to additive
+  // seeding (engine(base + s)) fails the positionwise check immediately.
+  constexpr std::size_t kDraws = 4096;
+  for (const std::uint64_t base : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+    for (const std::uint64_t stream : {0ULL, 1ULL, 7ULL}) {
+      SCOPED_TRACE("base=" + std::to_string(base) +
+                   " stream=" + std::to_string(stream));
+      Rng a(seed_combine(base, stream));
+      Rng b(seed_combine(base, stream + 1));
+      std::set<std::uint64_t> seen_a;
+      std::size_t positionwise_equal = 0;
+      std::vector<std::uint64_t> draws_b;
+      draws_b.reserve(kDraws);
+      for (std::size_t i = 0; i < kDraws; ++i) {
+        const std::uint64_t va = a.next_u64();
+        const std::uint64_t vb = b.next_u64();
+        seen_a.insert(va);
+        draws_b.push_back(vb);
+        positionwise_equal += (va == vb) ? 1 : 0;
+      }
+      EXPECT_EQ(positionwise_equal, 0u);
+      std::size_t overlap = 0;
+      for (const std::uint64_t vb : draws_b) overlap += seen_a.count(vb);
+      EXPECT_EQ(overlap, 0u);
+    }
+  }
+  // Sanity: the same derived seed replays the identical stream.
+  Rng c(seed_combine(42, 7));
+  Rng d(seed_combine(42, 7));
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(RngStreamProperty, AttackPlanIsInvariantAcrossThreadConfig) {
+  // Stochastic components draw only from explicit scenario seeds, never
+  // from worker identity: the same plan must come out whether the process
+  // is configured for 1 or 8 worker threads (the bit-reproducibility
+  // contract behind resume and the golden files).
+  auto plan_with_threads = [](std::size_t threads) {
+    config::Overrides overrides = config::overrides();
+    overrides.threads = threads;
+    config::ScopedOverrides guard(overrides);
+    accel::AcceleratorConfig config = accel::AcceleratorConfig::crosslight();
+    attack::AttackScenario scenario;
+    scenario.vector = attack::AttackVector::kActuation;
+    scenario.target = attack::AttackTarget::kBothBlocks;
+    scenario.fraction = 0.10;
+    scenario.seed = 23;
+    return attack::plan_actuation_attack(config, scenario);
+  };
+  const auto single = plan_with_threads(1);
+  const auto pooled = plan_with_threads(8);
+  ASSERT_FALSE(single.empty());
+  ASSERT_EQ(single.size(), pooled.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_TRUE(single[i].victim_slot == pooled[i].victim_slot)
+        << "trojan " << i << ": " << single[i].victim_slot.to_string()
+        << " vs " << pooled[i].victim_slot.to_string();
+    EXPECT_EQ(single[i].payload, pooled[i].payload);
+    EXPECT_EQ(single[i].triggered, pooled[i].triggered);
+  }
+}
 
 }  // namespace
 }  // namespace safelight
