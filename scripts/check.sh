@@ -13,13 +13,18 @@
 # 4. cross-check the legacy wrapper: `bench/fig7_susceptibility` must emit
 #    a CSV byte-identical to run-all's (fresh zoo, so the equality is
 #    computational, not cache reuse).
+# 5. distributed smoke: `run --workers 2` (clean, then with --chaos plug
+#    pulls inside the workers) must emit bytes identical to a
+#    single-process run from a fresh zoo — the coordinator/worker/merge
+#    stack proves itself end to end on every CI run.
 # Ends with a per-phase wall-time summary. CI uploads $SMOKE_DIR/out as
 # the experiment artifact bundle (see .github/workflows/ci.yml).
 #
 # SAFELIGHT_SANITIZE=ON builds with ASan+UBSan and runs the unit,
-# integration and fault ctest shards only: the sweep-smoke shard and the
-# CLI/bench smokes re-cover the same code paths at ~10x sanitizer cost,
-# and the fault harness's child processes inherit the instrumentation.
+# integration, fault and dist ctest shards only: the sweep-smoke shard and
+# the CLI/bench smokes re-cover the same code paths at ~10x sanitizer
+# cost, and the fault/dist harnesses' child processes inherit the
+# instrumentation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,9 +62,9 @@ phase_end
 # and cheap shards fail fast before the sweep-driving ones start. The
 # fault shard pulls the plug on child `safelight` processes and proves the
 # crash-resume contract (docs/testing.md).
-SHARDS=(unit integration sweep-smoke fault)
+SHARDS=(unit integration sweep-smoke fault dist)
 if [[ "$SANITIZE" == "ON" ]]; then
-  SHARDS=(unit integration fault)
+  SHARDS=(unit integration fault dist)
 fi
 for shard in "${SHARDS[@]}"; do
   phase_start "ctest ($shard)"
@@ -68,7 +73,7 @@ for shard in "${SHARDS[@]}"; do
 done
 # Every test must belong to exactly one shard; an unlabelled test would
 # silently never run above.
-UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke|fault)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
+UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke|fault|dist)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
 if [[ "$UNLABELLED" != "0" ]]; then
   echo "error: $UNLABELLED ctest case(s) carry no shard label" >&2
   exit 1
@@ -143,11 +148,40 @@ cmp "$SMOKE_DIR/out/fig7_susceptibility.csv" \
 echo "wrapper CSV byte-identical to run-all"
 phase_end
 
+phase_start "distributed smoke (2 workers, clean + chaos)"
+# The coordinator shards the sweep across 2 worker subprocesses from a
+# fresh zoo; the merged result must be byte-identical to a single-process
+# run (also fresh, so the equality is computational). cnn1-only keeps the
+# phase cheap; the dist ctest shard covers the full semantics.
+SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist_ref" SAFELIGHT_OUT="$SMOKE_DIR/out_dist_ref" \
+  "$SAFELIGHT" run susceptibility --model cnn1 >"$SMOKE_DIR/dist_ref.log"
+SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist" SAFELIGHT_OUT="$SMOKE_DIR/out_dist" \
+  "$SAFELIGHT" run susceptibility --model cnn1 --workers 2 \
+  >"$SMOKE_DIR/dist.log"
+grep '\[dist\] summary:' "$SMOKE_DIR/dist.log"
+cmp "$SMOKE_DIR/out_dist_ref/fig7_susceptibility.csv" \
+    "$SMOKE_DIR/out_dist/fig7_susceptibility.csv"
+# Chaos leg: PR 6 plug pulls armed inside the workers (crash on ~20% of
+# durable writes); retries must still converge on the same bytes.
+SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist_chaos" SAFELIGHT_OUT="$SMOKE_DIR/out_dist_chaos" \
+  "$SAFELIGHT" run susceptibility --model cnn1 --workers 2 --chaos 0.2 \
+  --max-task-retries 1000 >"$SMOKE_DIR/dist_chaos.log"
+grep '\[dist\] summary:' "$SMOKE_DIR/dist_chaos.log"
+cmp "$SMOKE_DIR/out_dist_ref/fig7_susceptibility.csv" \
+    "$SMOKE_DIR/out_dist_chaos/fig7_susceptibility.csv"
+echo "distributed CSVs byte-identical to single-process reference"
+phase_end
+
 # Preserve the artifact bundle for CI upload (the EXIT trap removes
 # $SMOKE_DIR; CI points SAFELIGHT_ARTIFACT_DIR somewhere persistent).
 if [[ -n "${SAFELIGHT_ARTIFACT_DIR:-}" ]]; then
   mkdir -p "$SAFELIGHT_ARTIFACT_DIR"
   cp "$SMOKE_DIR/out/"*.csv "$SMOKE_DIR/out/"*.json "$SAFELIGHT_ARTIFACT_DIR/"
+  # Merged canonical stores from the chaos'd distributed run: the artifact
+  # a reviewer diffs against the clean run's stores to audit the merge.
+  mkdir -p "$SAFELIGHT_ARTIFACT_DIR/dist_store"
+  cp "$SMOKE_DIR/zoo_dist_chaos/"*.sweep.csv "$SAFELIGHT_ARTIFACT_DIR/dist_store/"
+  cp "$SMOKE_DIR/dist.log" "$SMOKE_DIR/dist_chaos.log" "$SAFELIGHT_ARTIFACT_DIR/dist_store/"
 fi
 
 # Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with

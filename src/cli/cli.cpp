@@ -1,9 +1,12 @@
 #include "cli/cli.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -16,6 +19,9 @@
 #include "common/parallel.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/plan.hpp"
+#include "dist/worker.hpp"
 
 namespace safelight::cli {
 
@@ -28,6 +34,8 @@ constexpr const char* kUsage =
     "  list                 registered experiments\n"
     "  run <experiment>     run one experiment over the paper models\n"
     "  run-all              run every registered experiment in one process\n"
+    "  worker               internal: distributed sweep worker (spawned by\n"
+    "                       'run --workers N', speaks NDJSON on stdin/stdout)\n"
     "  help                 this text\n"
     "\n"
     "flags (precedence: flag > SAFELIGHT_* env > default):\n"
@@ -41,16 +49,28 @@ constexpr const char* kUsage =
     "  --json               also write per-(experiment, model) JSON\n"
     "  --verbose            per-scenario progress output\n"
     "\n"
+    "distributed execution (docs/architecture.md):\n"
+    "  --workers <N>        shard sweeps across N worker subprocesses\n"
+    "                       (0 = in-process, the default)\n"
+    "  --heartbeat-timeout <s>   worker silence before a kill + retry\n"
+    "  --max-task-retries <N>    task failures tolerated before quarantine\n"
+    "  --chaos <p>          arm fault injection inside the workers with\n"
+    "                       per-write crash probability p (chaos testing)\n"
+    "\n"
     "fault injection (crash-consistency testing, docs/testing.md):\n"
     "  --fault-mode <m>     none | independent | run_length | uniform\n"
     "  --fault-point <p>    only pull the plug at this named point\n"
     "  --fault-n <N>        crash on the N-th matched hit (run_length),\n"
-    "                       or draw the hit uniformly from [1, N] (uniform)\n";
+    "                       or draw the hit uniformly from [1, N] (uniform)\n"
+    "\n"
+    "exit codes: 0 ok, 1 runtime error, 2 usage error, 3 sweep incomplete\n"
+    "(quarantined tasks), 42 injected crash, 130 cancelled (SIGINT/SIGTERM)\n";
 
 struct CliOptions {
   std::vector<nn::ModelId> models;  // resolved; paper models when no --model
   bool json = false;
   bool verbose = false;
+  double chaos = 0.0;  // worker-side per-write crash probability
 };
 
 using core::banner;
@@ -66,19 +86,27 @@ extern "C" void handle_cancel_signal(int) {
   g_cancel_requested.store(true, std::memory_order_relaxed);
 }
 
-/// Installs the SIGINT handler for the duration of one cli::run and always
-/// leaves the flag cleared for the next invocation (embedders and tests
-/// call run() repeatedly in one process).
+/// Installs the SIGINT and SIGTERM handlers for the duration of one
+/// cli::run and always leaves the flag cleared for the next invocation
+/// (embedders and tests call run() repeatedly in one process). SIGTERM —
+/// what the coordinator, a supervisor or `kill` sends — gets the same
+/// graceful treatment as Ctrl-C: finish the current scenario, flush the
+/// stores, exit 130 with the resume hint.
 class ScopedCancelScope {
  public:
-  ScopedCancelScope() { previous_ = std::signal(SIGINT, handle_cancel_signal); }
+  ScopedCancelScope() {
+    previous_int_ = std::signal(SIGINT, handle_cancel_signal);
+    previous_term_ = std::signal(SIGTERM, handle_cancel_signal);
+  }
   ~ScopedCancelScope() {
-    if (previous_ != SIG_ERR) std::signal(SIGINT, previous_);
+    if (previous_int_ != SIG_ERR) std::signal(SIGINT, previous_int_);
+    if (previous_term_ != SIG_ERR) std::signal(SIGTERM, previous_term_);
     g_cancel_requested.store(false, std::memory_order_relaxed);
   }
 
  private:
-  void (*previous_)(int) = SIG_ERR;
+  void (*previous_int_)(int) = SIG_ERR;
+  void (*previous_term_)(int) = SIG_ERR;
 };
 
 /// Strict decimal parse: digits only (std::stoull would wrap "-1" to a
@@ -99,6 +127,15 @@ std::size_t positive_int(const std::string& flag, const std::string& value) {
   const std::uint64_t parsed = nonnegative_int(flag, value);
   require(parsed >= 1, "flag " + flag + " must be >= 1 (got " + value + ")");
   return static_cast<std::size_t>(parsed);
+}
+
+/// Strict full-string parse of a positive double (no trailing garbage).
+double positive_double(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  require(end != value.c_str() && *end == '\0' && parsed > 0.0,
+          "flag " + flag + " needs a positive number (got '" + value + "')");
+  return parsed;
 }
 
 /// Parses flags into (config overrides, CLI options); consumes all args
@@ -133,6 +170,22 @@ CliOptions parse_flags(const std::vector<std::string>& args,
       overrides.zoo_dir = value();
     } else if (flag == "--threads") {
       overrides.threads = positive_int(flag, value());
+    } else if (flag == "--workers") {
+      overrides.workers =
+          static_cast<std::size_t>(nonnegative_int(flag, value()));
+    } else if (flag == "--heartbeat-timeout") {
+      overrides.heartbeat_timeout_s = positive_double(flag, value());
+    } else if (flag == "--max-task-retries") {
+      overrides.max_task_retries = positive_int(flag, value());
+    } else if (flag == "--chaos") {
+      const std::string& raw = value();
+      char* end = nullptr;
+      const double parsed = std::strtod(raw.c_str(), &end);
+      require(end != raw.c_str() && *end == '\0' && parsed >= 0.0 &&
+                  parsed < 1.0,
+              "flag --chaos needs a probability in [0, 1) (got '" + raw +
+                  "')");
+      options.chaos = parsed;
     } else if (flag == "--fault-mode") {
       const std::string& mode = value();
       fault::parse_mode(mode);  // reject typos at the flag boundary
@@ -364,6 +417,7 @@ int cmd_run(const std::vector<std::string>& experiments,
     double seconds = 0.0;
   };
   std::vector<ExperimentTiming> timings;
+  bool any_quarantine = false;
 
   for (const std::string& name : experiments) {
     const core::ExperimentInfo& info = registry.info(name);
@@ -391,6 +445,41 @@ int cmd_run(const std::vector<std::string>& experiments,
                   nn::to_string(model).c_str(), to_string(scale).c_str(),
                   spec.resolved_setup().dataset_family.c_str());
       std::fflush(stdout);
+
+      if (config::workers() > 0) {
+        if (!dist::DistPlanner::shardable(name)) {
+          std::printf(
+              "[dist] note: experiment '%s' is not shardable; running "
+              "in-process\n",
+              name.c_str());
+          std::fflush(stdout);
+        } else {
+          // Distributed phase: workers warm the result stores; the ordinary
+          // registry.run below then assembles the report with every lookup
+          // hitting cache, so its output is byte-identical to an in-process
+          // run of the same spec.
+          dist::DistOptions dist_options;
+          dist_options.workers = config::workers();
+          dist_options.heartbeat_timeout_s = config::heartbeat_timeout_s();
+          dist_options.max_task_retries = config::max_task_retries();
+          dist_options.chaos_kill_prob = options.chaos;
+          dist_options.chaos_seed = spec.base_seed;
+          dist_options.verbose = options.verbose;
+          dist_options.cancel = &g_cancel_requested;
+          dist::DistSummary dist_summary;
+          const dist::DistStatus status = dist::run_distributed(
+              name, spec, zoo, dist_options, dist_summary);
+          if (status == dist::DistStatus::kQuarantined) {
+            std::fprintf(stderr,
+                         "[dist] %s/%s incomplete: %zu task(s) quarantined; "
+                         "skipping report assembly for this model\n",
+                         name.c_str(), nn::to_string(model).c_str(),
+                         dist_summary.quarantined.size());
+            any_quarantine = true;
+            continue;
+          }
+        }
+      }
 
       const core::ExperimentResult result = registry.run(spec, context);
       experiment_seconds += result.wall_seconds;
@@ -457,7 +546,60 @@ int cmd_run(const std::vector<std::string>& experiments,
     }
     std::printf("%s", summary.render().c_str());
   }
-  return 0;
+  // 3 = the sweep ran but quarantined tasks were left out; a caller that
+  // treats this as success would trust incomplete CSVs.
+  return any_quarantine ? 3 : 0;
+}
+
+/// `safelight worker`: the coordinator-spawned end of the distributed
+/// protocol. stdin carries task commands, the *original* stdout carries
+/// events; stdout is re-pointed at stderr immediately so stray prints from
+/// experiment code cannot corrupt the event stream.
+int cmd_worker(const std::vector<std::string>& args) {
+  std::string zoo_dir;
+  std::string store_dir;
+  config::Overrides overrides;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto value = [&]() -> const std::string& {
+      require(i + 1 < args.size(), "flag " + flag + " needs a value");
+      return args[++i];
+    };
+    if (flag == "--slot") {
+      nonnegative_int(flag, value());  // a label; the store dir carries it
+    } else if (flag == "--store-dir") {
+      store_dir = value();
+    } else if (flag == "--zoo") {
+      zoo_dir = value();
+      overrides.zoo_dir = zoo_dir;
+    } else if (flag == "--threads") {
+      overrides.threads = positive_int(flag, value());
+    } else {
+      fail_argument("unknown worker flag '" + flag + "'");
+    }
+  }
+  require(!store_dir.empty(), "'safelight worker' needs --store-dir");
+  config::set_overrides(overrides);
+  // Chaos runs arm the plug-pull harness via the SAFELIGHT_FAULT_* env the
+  // coordinator set for this slot.
+  fault::init_from_config();
+
+  dist::WorkerOptions worker;
+  worker.zoo_dir = zoo_dir;
+  worker.store_dir = store_dir;
+  worker.protocol_in = 0;
+  worker.protocol_out = ::dup(1);
+  require(worker.protocol_out >= 0, "worker: dup(stdout) failed");
+  ::dup2(2, 1);
+  if (const char* env = std::getenv("SAFELIGHT_DIST_HEARTBEAT_INTERVAL")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && parsed > 0.0) {
+      worker.heartbeat_interval_s = parsed;
+    }
+  }
+  worker.cancel = &g_cancel_requested;
+  return dist::run_worker(worker);
 }
 
 }  // namespace
@@ -496,6 +638,9 @@ int run(const std::vector<std::string>& args) {
     if (command == "run-all") {
       const CliOptions options = parse_flags(args, 1);
       return cmd_run(core::ExperimentRegistry::global().names(), options);
+    }
+    if (command == "worker") {
+      return cmd_worker(args);
     }
     fail_argument("unknown command '" + command +
                   "' (see 'safelight help')");

@@ -146,4 +146,38 @@ std::uint64_t fault_seed() {
   return static_cast<std::uint64_t>(v);
 }
 
+std::size_t workers() {
+  if (mutable_overrides().workers) return *mutable_overrides().workers;
+  const std::int64_t v = strict_env_int("SAFELIGHT_WORKERS").value_or(0);
+  require(v >= 0, "SAFELIGHT_WORKERS must be >= 0 (got " + std::to_string(v) +
+                      "); 0 runs in-process without a coordinator");
+  return static_cast<std::size_t>(v);
+}
+
+double heartbeat_timeout_s() {
+  if (mutable_overrides().heartbeat_timeout_s) {
+    return *mutable_overrides().heartbeat_timeout_s;
+  }
+  const char* raw = std::getenv("SAFELIGHT_HEARTBEAT_TIMEOUT");
+  if (raw == nullptr || raw[0] == '\0') return 10.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  require(end != raw && *end == '\0' && parsed > 0.0,
+          std::string("SAFELIGHT_HEARTBEAT_TIMEOUT must be a positive number "
+                      "of seconds (got '") +
+              raw + "')");
+  return parsed;
+}
+
+std::size_t max_task_retries() {
+  if (mutable_overrides().max_task_retries) {
+    return *mutable_overrides().max_task_retries;
+  }
+  const std::int64_t v =
+      strict_env_int("SAFELIGHT_MAX_TASK_RETRIES").value_or(3);
+  require(v >= 1, "SAFELIGHT_MAX_TASK_RETRIES must be >= 1 (got " +
+                      std::to_string(v) + ")");
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace safelight::config

@@ -25,6 +25,12 @@
 //   fault_n()     SAFELIGHT_FAULT_N      run length of the injected crash
 //   fault_prob()  SAFELIGHT_FAULT_PROB   independent-mode plug probability
 //   fault_seed()  SAFELIGHT_FAULT_SEED   seed of the injection draws
+//   workers()     SAFELIGHT_WORKERS      distributed worker processes
+//                                        (0 = in-process, no coordinator)
+//   heartbeat_timeout_s()  SAFELIGHT_HEARTBEAT_TIMEOUT  seconds of worker
+//                                        silence before it is declared hung
+//   max_task_retries()     SAFELIGHT_MAX_TASK_RETRIES   failures before a
+//                                        task is quarantined as poison
 #pragma once
 
 #include <cstddef>
@@ -48,6 +54,9 @@ struct Overrides {
   std::optional<std::string> fault_mode;
   std::optional<std::string> fault_point;
   std::optional<std::uint64_t> fault_n;
+  std::optional<std::size_t> workers;
+  std::optional<double> heartbeat_timeout_s;
+  std::optional<std::size_t> max_task_retries;
 };
 
 /// Installs `overrides` as the process-wide CLI layer (replacing any
@@ -116,5 +125,18 @@ double fault_prob();
 
 /// Seed of the fault-injection draws: SAFELIGHT_FAULT_SEED > 1.
 std::uint64_t fault_seed();
+
+/// Distributed worker-process count: CLI > SAFELIGHT_WORKERS > 0.
+/// 0 means "no coordinator": experiments run in-process as always.
+std::size_t workers();
+
+/// Seconds of worker silence (no heartbeat, no completion) before the
+/// coordinator declares it hung and reassigns its task:
+/// CLI > SAFELIGHT_HEARTBEAT_TIMEOUT > 10. Must be > 0.
+double heartbeat_timeout_s();
+
+/// Times a task may fail (worker crash or hang) before the coordinator
+/// quarantines it as poison: CLI > SAFELIGHT_MAX_TASK_RETRIES > 3.
+std::size_t max_task_retries();
 
 }  // namespace safelight::config

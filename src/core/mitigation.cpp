@@ -25,6 +25,7 @@ MitigationReport mitigation_impl(const ExperimentSpec& spec,
   pipeline_options.max_workers = spec.max_workers;
   pipeline_options.verbose = spec.verbose;
   pipeline_options.corruption = spec.corruption;
+  pipeline_options.cancel = context.cancel;
   ScenarioPipeline pipeline(setup, context.zoo(), pipeline_options);
 
   for (const VariantSpec& variant : paper_variants(spec.l2_strength)) {

@@ -8,20 +8,28 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "core/experiment.hpp"
 #include "core/result_store.hpp"
 
 namespace safelight::core {
 
-namespace {
-
-/// Store key of a scenario: its stable id plus the evaluation subset size
-/// (a larger eval_count is a different measurement).
-std::string scenario_key(const attack::AttackScenario& scenario,
-                         std::size_t eval_count) {
+std::string scenario_store_key(const attack::AttackScenario& scenario,
+                               std::size_t eval_count) {
   return scenario.id() + "/n" + std::to_string(eval_count);
 }
 
-}  // namespace
+std::string baseline_store_key(std::size_t eval_count) {
+  return "baseline/n" + std::to_string(eval_count);
+}
+
+std::string sweep_store_stem(const std::string& cache_dir,
+                             const ExperimentSetup& setup,
+                             const std::string& variant_name,
+                             const std::string& weights_checksum,
+                             const attack::CorruptionConfig& corruption) {
+  return cache_dir + "/" + setup.tag() + "_" + variant_name + "_" +
+         weights_checksum + "_" + attack::config_fingerprint(corruption);
+}
 
 std::vector<double> SweepResult::accuracies() const {
   std::vector<double> values;
@@ -49,9 +57,9 @@ SweepResult ScenarioPipeline::run(
   std::string csv_path, jsonl_path;
   if (!options_.cache_dir.empty()) {
     std::filesystem::create_directories(options_.cache_dir);
-    const std::string base = options_.cache_dir + "/" + setup_.tag() + "_" +
-                             variant.name + "_" + checksum + "_" +
-                             attack::config_fingerprint(options_.corruption);
+    const std::string base =
+        sweep_store_stem(options_.cache_dir, setup_, variant.name, checksum,
+                         options_.corruption);
     csv_path = base + ".sweep.csv";
     if (options_.stream_jsonl) jsonl_path = base + ".sweep.jsonl";
   }
@@ -62,8 +70,7 @@ SweepResult ScenarioPipeline::run(
 
   // Baseline dedup: one clean evaluation serves every scenario of the sweep
   // (and, through the store, every future sweep of this variant).
-  const std::string baseline_key =
-      "baseline/n" + std::to_string(setup_.eval_count);
+  const std::string baseline_key = baseline_store_key(setup_.eval_count);
   if (const auto cached = store.lookup(baseline_key)) {
     result.baseline_accuracy = *cached;
     result.baseline_from_cache = true;
@@ -81,7 +88,7 @@ SweepResult ScenarioPipeline::run(
   std::unordered_set<std::string> fresh_keys;
   for (const auto& scenario : grid) {
     scenario.validate();
-    const std::string key = scenario_key(scenario, setup_.eval_count);
+    const std::string key = scenario_store_key(scenario, setup_.eval_count);
     if (!store.contains(key) && fresh_keys.insert(key).second) {
       pending.push_back(scenario);
       pending_keys.push_back(key);
@@ -97,6 +104,13 @@ SweepResult ScenarioPipeline::run(
     const auto evaluate_range = [&](AttackEvaluator& evaluator,
                                     std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
+        // Scenario boundaries are the pipeline's cancellation points:
+        // everything already evaluated is persisted, so stopping here loses
+        // no work. parallel_for_chunks rethrows this on the caller.
+        if (options_.cancel &&
+            options_.cancel->load(std::memory_order_relaxed)) {
+          throw ExperimentCancelled(setup_.tag());
+        }
         const double accuracy = evaluator.evaluate_scenario(pending[i]);
         store.put(pending_keys[i], accuracy);
         if (options_.verbose) {
@@ -136,7 +150,7 @@ SweepResult ScenarioPipeline::run(
   // Assemble in grid order: execution order never leaks into the result.
   result.rows.reserve(grid.size());
   for (const auto& scenario : grid) {
-    const std::string key = scenario_key(scenario, setup_.eval_count);
+    const std::string key = scenario_store_key(scenario, setup_.eval_count);
     const auto value = store.lookup(key);
     SAFELIGHT_ASSERT(value.has_value(), "pipeline: result missing after sweep");
     ScenarioOutcome outcome;

@@ -16,6 +16,7 @@
 // between serial and parallel runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +46,11 @@ struct PipelineOptions {
   /// store fingerprint), so ablation sweeps never poison the paper-grid
   /// cache.
   attack::CorruptionConfig corruption{};
+  /// Cooperative-cancellation flag, checked between scenario evaluations.
+  /// When it flips to true the sweep stops at the next scenario boundary by
+  /// throwing ExperimentCancelled — everything evaluated so far is already
+  /// in the ResultStore, so a rerun resumes from the completed prefix.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One evaluated grid entry.
@@ -72,6 +78,27 @@ struct SweepResult {
   /// Five-number summary over all rows; throws when the sweep is empty.
   BoxStats under_attack() const;
 };
+
+/// Store key of a scenario: its stable id plus the evaluation subset size
+/// (a larger eval_count is a different measurement). Shared by the pipeline
+/// and the distributed planner — the coordinator decides "already cached?"
+/// with exactly the key the pipeline will later look up.
+std::string scenario_store_key(const attack::AttackScenario& scenario,
+                               std::size_t eval_count);
+
+/// Store key of the clean (unattacked) baseline evaluation.
+std::string baseline_store_key(std::size_t eval_count);
+
+/// Path (without extension) of the ResultStore files a pipeline sweep of
+/// `variant` uses under `cache_dir`: the CSV store is `<stem>.sweep.csv`,
+/// the optional mirror `<stem>.sweep.jsonl`. `weights_checksum` is the
+/// trained variant's checksum — part of the name so retrained weights never
+/// read stale entries; `corruption` likewise fingerprints ablated physics.
+std::string sweep_store_stem(const std::string& cache_dir,
+                             const ExperimentSetup& setup,
+                             const std::string& variant_name,
+                             const std::string& weights_checksum,
+                             const attack::CorruptionConfig& corruption);
 
 /// Fans scenario evaluations for one ExperimentSetup out over worker
 /// threads, with persistent per-scenario result caching and clean-baseline

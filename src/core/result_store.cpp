@@ -1,9 +1,16 @@
 #include "core/result_store.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 #include "common/fault.hpp"
 
@@ -62,11 +69,125 @@ void truncate_torn_tail(const std::string& path) {
   }
 }
 
+/// Splits one CSV line into (key, raw value bytes) when it is a complete,
+/// well-formed store row; nullopt for headers, blanks and malformed rows.
+/// The value must parse as a full double but is returned unparsed — the
+/// multi-writer merge compares value *bytes*.
+std::optional<RawStoreEntry> parse_store_line(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty() || line == "key,accuracy") return std::nullopt;
+  const std::size_t comma = line.rfind(',');
+  if (comma == std::string::npos || comma == 0) return std::nullopt;
+  const char* value_begin = line.c_str() + comma + 1;
+  char* value_end = nullptr;
+  const double value = std::strtod(value_begin, &value_end);
+  (void)value;
+  if (value_end == value_begin || *value_end != '\0') return std::nullopt;
+  return RawStoreEntry{line.substr(0, comma), line.substr(comma + 1)};
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// StoreWriterLock
+// ---------------------------------------------------------------------------
+
+StoreWriterLock::StoreWriterLock(const std::string& store_path) {
+  const std::string path = store_path + ".lock";
+  // Two attempts: the second runs only after a stale lock was removed, so
+  // a live competitor racing us between unlink and reopen still wins.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const std::string body = std::to_string(::getpid()) + "\n";
+      // A lock file with an unparsable body reads as stale, which is the
+      // safe failure direction for a write that did not land.
+      (void)!::write(fd, body.c_str(), body.size());
+      ::close(fd);
+      lock_path_ = path;
+      return;
+    }
+    if (errno != EEXIST) {
+      throw std::runtime_error("safelight: cannot create store lock '" +
+                               path + "': " + std::strerror(errno));
+    }
+    // Somebody holds (or held) the lock: read the owner pid and probe it.
+    long owner = 0;
+    {
+      std::ifstream in(path);
+      in >> owner;
+    }
+    const bool alive = owner > 0 && (::kill(static_cast<pid_t>(owner), 0) == 0 ||
+                                     errno != ESRCH);
+    if (alive) {
+      throw std::runtime_error(
+          "safelight: result store '" + store_path +
+          "' is locked by live process " + std::to_string(owner) +
+          " (two concurrent writers on one cache directory? remove '" + path +
+          "' only if that process is not a safelight writer)");
+    }
+    std::fprintf(stderr,
+                 "[store] taking over stale lock %s (owner pid %ld is dead)\n",
+                 path.c_str(), owner);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  throw std::runtime_error("safelight: could not acquire store lock '" + path +
+                           "' (lock keeps reappearing)");
+}
+
+StoreWriterLock::~StoreWriterLock() {
+  if (lock_path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove(lock_path_, ec);
+}
+
+StoreWriterLock::StoreWriterLock(StoreWriterLock&& other) noexcept
+    : lock_path_(std::move(other.lock_path_)) {
+  other.lock_path_.clear();
+}
+
+StoreWriterLock& StoreWriterLock::operator=(StoreWriterLock&& other) noexcept {
+  if (this != &other) {
+    if (!lock_path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(lock_path_, ec);
+    }
+    lock_path_ = std::move(other.lock_path_);
+    other.lock_path_.clear();
+  }
+  return *this;
+}
+
+std::vector<RawStoreEntry> read_store_entries(const std::string& csv_path) {
+  std::vector<RawStoreEntry> entries;
+  std::ifstream in(csv_path, std::ios::binary);
+  if (!in) return entries;
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  std::unordered_map<std::string, std::size_t> index;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t newline = content.find('\n', pos);
+    if (newline == std::string::npos) break;  // torn tail: skip, keep file
+    auto entry = parse_store_line(content.substr(pos, newline - pos));
+    pos = newline + 1;
+    if (!entry) continue;
+    if (const auto it = index.find(entry->key); it != index.end()) {
+      entries[it->second].value = std::move(entry->value);  // later row wins
+    } else {
+      index.emplace(entry->key, entries.size());
+      entries.push_back(std::move(*entry));
+    }
+  }
+  return entries;
+}
 
 ResultStore::ResultStore(std::string csv_path, std::string jsonl_path)
     : csv_path_(std::move(csv_path)), jsonl_path_(std::move(jsonl_path)) {
   if (csv_path_.empty()) return;
+  // Writer exclusivity first: everything below mutates the directory.
+  lock_ = StoreWriterLock(csv_path_);
   const std::filesystem::path parent =
       std::filesystem::path(csv_path_).parent_path();
   sweep_orphaned_temp_files(parent.empty() ? "." : parent);
@@ -90,17 +211,10 @@ ResultStore::ResultStore(std::string csv_path, std::string jsonl_path)
       std::filesystem::resize_file(csv_path_, pos, ec);
       break;
     }
-    std::string line = content.substr(pos, newline - pos);
+    auto entry = parse_store_line(content.substr(pos, newline - pos));
     pos = newline + 1;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() || line == "key,accuracy") continue;
-    const std::size_t comma = line.rfind(',');
-    if (comma == std::string::npos || comma == 0) continue;
-    const char* value_begin = line.c_str() + comma + 1;
-    char* value_end = nullptr;
-    const double value = std::strtod(value_begin, &value_end);
-    if (value_end == value_begin || *value_end != '\0') continue;
-    entries_[line.substr(0, comma)] = value;
+    if (!entry) continue;
+    entries_[entry->key] = std::strtod(entry->value.c_str(), nullptr);
   }
 }
 

@@ -12,8 +12,55 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace safelight::core {
+
+/// Advisory single-writer lock on one store file: `<path>.lock` holds the
+/// owner's pid. Cache directories have one live writer per store file by
+/// contract; before this lock existed, a second accidental writer silently
+/// interleaved rows. Construction fails fast (std::runtime_error naming the
+/// live pid) on contention; a lock file left behind by a dead process —
+/// crashed writers never run destructors — is taken over with a warning.
+/// Advisory and same-host only: liveness is probed with kill(pid, 0), so a
+/// recycled pid can hold a takeover back until that process exits.
+class StoreWriterLock {
+ public:
+  /// Disengaged (no file, nothing released on destruction).
+  StoreWriterLock() = default;
+  /// Acquires `<store_path>.lock`; throws std::runtime_error when another
+  /// live process holds it.
+  explicit StoreWriterLock(const std::string& store_path);
+  ~StoreWriterLock();
+
+  StoreWriterLock(StoreWriterLock&& other) noexcept;
+  StoreWriterLock& operator=(StoreWriterLock&& other) noexcept;
+  StoreWriterLock(const StoreWriterLock&) = delete;
+  StoreWriterLock& operator=(const StoreWriterLock&) = delete;
+
+  bool engaged() const { return !lock_path_.empty(); }
+  const std::string& lock_path() const { return lock_path_; }
+
+ private:
+  std::string lock_path_;  // empty = disengaged
+};
+
+/// One raw store row: the key and the value bytes exactly as written.
+/// Multi-writer merging compares raw value bytes (a byte mismatch on the
+/// same key is a conflict), so the value is not parsed here.
+struct RawStoreEntry {
+  std::string key;
+  std::string value;
+};
+
+/// Tolerant read of a result-store CSV written by ResultStore (or a crashed
+/// one): header, malformed and torn-tail rows are skipped, later duplicates
+/// of a key win (matching ResultStore's overwrite semantics). Returns rows
+/// in (deduplicated) file order; a missing file reads as empty. Read-only —
+/// never truncates or locks, so coordinators can inspect a store another
+/// process owns.
+std::vector<RawStoreEntry> read_store_entries(const std::string& csv_path);
 
 /// Append-only result cache shared by the pipeline's worker threads.
 ///
@@ -59,6 +106,7 @@ class ResultStore {
   mutable std::mutex mutex_;
   std::string csv_path_;    // empty = in-memory only
   std::string jsonl_path_;  // empty = no JSON mirror
+  StoreWriterLock lock_;    // engaged while csv_path_ is non-empty
   std::unordered_map<std::string, double> entries_;
 };
 

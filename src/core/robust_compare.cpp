@@ -18,6 +18,35 @@ const RobustComparisonCell& RobustComparisonReport::cell(
   fail_argument("RobustComparisonReport::cell: no such cell");
 }
 
+ExperimentSpec robust_compare_selection_spec(const ExperimentSpec& spec) {
+  // Mitigation's own defaults keep its paper seed count (3); only the
+  // settings that define "the same experiment" carry over. The selection
+  // must rank variants under the same attack model the comparison uses,
+  // hence the corruption copy.
+  ExperimentSpec mitigation_spec =
+      ExperimentRegistry::global().default_spec("mitigation");
+  mitigation_spec.model = spec.model;
+  mitigation_spec.scale = spec.scale;
+  mitigation_spec.setup = spec.setup;
+  mitigation_spec.base_seed = spec.base_seed;
+  mitigation_spec.l2_strength = spec.l2_strength;
+  mitigation_spec.cache_dir = spec.cache_dir;
+  mitigation_spec.max_workers = spec.max_workers;
+  mitigation_spec.verbose = spec.verbose;
+  mitigation_spec.corruption = spec.corruption;
+  return mitigation_spec;
+}
+
+std::vector<attack::AttackScenario> robust_compare_grid(
+    const ExperimentSpec& spec) {
+  // One combined grid (2 vectors x 3 fractions x seeds on CONV+FC), swept
+  // once per model; cells are sliced out afterwards.
+  return attack::scenario_grid(
+      {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
+      {attack::AttackTarget::kBothBlocks}, {0.01, 0.05, 0.10},
+      spec.seed_count, spec.base_seed);
+}
+
 namespace {
 
 /// The comparison proper, in the unified-API shape: spec in, report out.
@@ -28,40 +57,23 @@ RobustComparisonReport robust_compare_impl(const ExperimentSpec& spec,
   std::string robust_name = spec.robust_variant;
   if (robust_name.empty()) {
     // Select via the mitigation sweep at its own paper seed count (3).
-    ExperimentSpec mitigation_spec =
-        ExperimentRegistry::global().default_spec("mitigation");
-    mitigation_spec.model = spec.model;
-    mitigation_spec.scale = spec.scale;
-    mitigation_spec.setup = spec.setup;
-    mitigation_spec.base_seed = spec.base_seed;
-    mitigation_spec.l2_strength = spec.l2_strength;
-    mitigation_spec.cache_dir = spec.cache_dir;
-    mitigation_spec.max_workers = spec.max_workers;
-    mitigation_spec.verbose = spec.verbose;
-    // The selection must rank variants under the same attack model the
-    // comparison below uses.
-    mitigation_spec.corruption = spec.corruption;
     context.note("robust_compare: selecting robust variant");
     robust_name = ExperimentRegistry::global()
-                      .run(mitigation_spec, context)
+                      .run(robust_compare_selection_spec(spec), context)
                       .as<MitigationReport>()
                       .best_robust()
                       .variant.name;
   }
   context.throw_if_cancelled("robust_compare");
 
-  // One combined grid (2 vectors x 3 fractions x seeds on CONV+FC), swept
-  // once per model through the pipeline; cells are sliced out afterwards.
-  const auto grid = attack::scenario_grid(
-      {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
-      {attack::AttackTarget::kBothBlocks}, {0.01, 0.05, 0.10},
-      spec.seed_count, spec.base_seed);
+  const auto grid = robust_compare_grid(spec);
 
   PipelineOptions pipeline_options;
   pipeline_options.cache_dir = spec.cache_dir;
   pipeline_options.max_workers = spec.max_workers;
   pipeline_options.verbose = spec.verbose;
   pipeline_options.corruption = spec.corruption;
+  pipeline_options.cancel = context.cancel;
   ScenarioPipeline pipeline(setup, context.zoo(), pipeline_options);
   context.note("robust_compare: sweeping Original vs " + robust_name);
   const SweepResult original_sweep =

@@ -28,6 +28,7 @@ SusceptibilityReport susceptibility_impl(const ExperimentSpec& spec,
   pipeline_options.max_workers = spec.max_workers;
   pipeline_options.verbose = spec.verbose;
   pipeline_options.corruption = spec.corruption;
+  pipeline_options.cancel = context.cancel;
   ScenarioPipeline pipeline(setup, context.zoo(), pipeline_options);
   const SweepResult sweep = pipeline.run_paper_grid(
       variant_by_name("Original"), spec.seed_count, spec.base_seed);

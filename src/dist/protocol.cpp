@@ -1,0 +1,157 @@
+#include "dist/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace safelight::dist {
+
+namespace {
+
+/// %.17g: enough significant digits that strtod returns the identical
+/// double, making the scenario id (and thus the store key) reproduce
+/// exactly on the worker side.
+std::string fraction_to_wire(double fraction) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", fraction);
+  return buf;
+}
+
+double fraction_from_wire(const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  require(end != begin && *end == '\0',
+          "dist protocol: malformed fraction '" + text + "'");
+  return value;
+}
+
+const char* event_type_name(EventMessage::Type type) {
+  switch (type) {
+    case EventMessage::Type::kHello: return "hello";
+    case EventMessage::Type::kHeartbeat: return "heartbeat";
+    case EventMessage::Type::kDone: return "done";
+    case EventMessage::Type::kFatal: break;
+  }
+  return "fatal";
+}
+
+}  // namespace
+
+std::string encode_task(const TaskMessage& task) {
+  JsonWriter json(/*compact=*/true);
+  json.begin_object();
+  json.key("type").value("task");
+  json.key("id").value(task.id);
+  json.key("model").value(task.model);
+  json.key("scale").value(task.scale);
+  json.key("variant").value(task.variant);
+  json.key("l2").value(fraction_to_wire(task.l2_strength));
+  json.key("store_stem").value(task.store_stem);
+  json.key("fingerprint").value(task.fingerprint);
+  json.key("baseline").value(task.baseline);
+  json.key("scenarios").begin_array();
+  for (const auto& scenario : task.scenarios) {
+    json.begin_object();
+    json.key("vector").value(attack::to_string(scenario.vector));
+    json.key("target").value(attack::to_string(scenario.target));
+    json.key("fraction").value(fraction_to_wire(scenario.fraction));
+    json.key("seed").value(static_cast<std::uint64_t>(scenario.seed));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string encode_shutdown() {
+  JsonWriter json(/*compact=*/true);
+  json.begin_object();
+  json.key("type").value("shutdown");
+  json.end_object();
+  return std::move(json).str();
+}
+
+bool is_shutdown(const std::string& line) {
+  return JsonValue::parse(line).at("type").as_string() == "shutdown";
+}
+
+TaskMessage decode_task(const std::string& line) {
+  const JsonValue doc = JsonValue::parse(line);
+  require(doc.at("type").as_string() == "task",
+          "dist protocol: expected a task message (got type '" +
+              doc.at("type").as_string() + "')");
+  TaskMessage task;
+  task.id = doc.at("id").as_uint();
+  task.model = doc.at("model").as_string();
+  task.scale = doc.at("scale").as_string();
+  task.variant = doc.at("variant").as_string();
+  task.l2_strength = fraction_from_wire(doc.at("l2").as_string());
+  task.store_stem = doc.at("store_stem").as_string();
+  task.fingerprint = doc.at("fingerprint").as_string();
+  task.baseline = doc.at("baseline").as_bool();
+  for (const JsonValue& entry : doc.at("scenarios").as_array()) {
+    attack::AttackScenario scenario;
+    scenario.vector =
+        attack::vector_from_string(entry.at("vector").as_string());
+    scenario.target =
+        attack::target_from_string(entry.at("target").as_string());
+    scenario.fraction = fraction_from_wire(entry.at("fraction").as_string());
+    scenario.seed = entry.at("seed").as_uint();
+    scenario.validate();
+    task.scenarios.push_back(scenario);
+  }
+  return task;
+}
+
+std::string encode_event(const EventMessage& event) {
+  JsonWriter json(/*compact=*/true);
+  json.begin_object();
+  json.key("type").value(event_type_name(event.type));
+  switch (event.type) {
+    case EventMessage::Type::kHello:
+      json.key("pid").value(event.pid);
+      break;
+    case EventMessage::Type::kHeartbeat:
+      break;
+    case EventMessage::Type::kDone:
+      json.key("id").value(event.task_id);
+      json.key("evaluated").value(event.evaluated);
+      json.key("cached").value(event.cached);
+      break;
+    case EventMessage::Type::kFatal:
+      json.key("id").value(event.task_id);
+      json.key("message").value(event.message);
+      break;
+  }
+  json.end_object();
+  return std::move(json).str();
+}
+
+EventMessage decode_event(const std::string& line) {
+  const JsonValue doc = JsonValue::parse(line);
+  const std::string& type = doc.at("type").as_string();
+  EventMessage event;
+  if (type == "hello") {
+    event.type = EventMessage::Type::kHello;
+    event.pid = doc.at("pid").as_uint();
+  } else if (type == "heartbeat") {
+    event.type = EventMessage::Type::kHeartbeat;
+  } else if (type == "done") {
+    event.type = EventMessage::Type::kDone;
+    event.task_id = doc.at("id").as_uint();
+    event.evaluated = doc.at("evaluated").as_uint();
+    event.cached = doc.at("cached").as_uint();
+  } else if (type == "fatal") {
+    event.type = EventMessage::Type::kFatal;
+    event.task_id = doc.at("id").as_uint();
+    event.message = doc.at("message").as_string();
+  } else {
+    fail_argument("dist protocol: unknown event type '" + type + "'");
+  }
+  return event;
+}
+
+}  // namespace safelight::dist

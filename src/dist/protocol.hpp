@@ -1,0 +1,78 @@
+// Coordinator <-> worker pipe protocol of the distributed sweep layer.
+//
+// One JSON document per line (NDJSON), written with common/json's compact
+// writer and parsed back with JsonValue — no third-party dependency, and
+// both directions are strict: an unknown type, a missing field or trailing
+// garbage is a protocol error, not a silent skip. Scenarios travel as full
+// descriptors (vector/target/fraction/seed), never as grid indices, so a
+// coordinator and a worker built from slightly different grid code cannot
+// disagree about which cell a task means. Fractions are shipped as %.17g
+// strings: the scenario's store key contains the double, and a decimal
+// round-trip through 17 significant digits reproduces it bit for bit.
+//
+// Coordinator -> worker commands:
+//   {"type":"task", "id":N, "model":"cnn1", "scale":"tiny",
+//    "variant":"l2+n3", "l2":3e-04, "store_stem":"...", "fingerprint":"...",
+//    "baseline":true, "scenarios":[{"vector":"hotspot","target":"CONV+FC",
+//    "fraction":"0.050000000000000003","seed":1003}, ...]}
+//   {"type":"shutdown"}
+//
+// Worker -> coordinator events:
+//   {"type":"hello","pid":N}
+//   {"type":"heartbeat"}
+//   {"type":"done","id":N,"evaluated":K,"cached":M}
+//   {"type":"fatal","id":N,"message":"..."}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.hpp"
+
+namespace safelight::dist {
+
+/// One shard of sweep work: evaluate `scenarios` (plus, when `baseline` is
+/// set, the clean baseline) for `variant` of (model, scale), recording
+/// results in the worker's own store file `<store_dir>/<store_stem>.sweep.csv`
+/// under exactly the keys the in-process pipeline would use.
+struct TaskMessage {
+  std::uint64_t id = 0;
+  std::string model;        // nn::to_string(ModelId) name
+  std::string scale;        // "tiny" | "default" | "full"
+  std::string variant;      // VariantSpec name (variant_by_name-resolvable)
+  double l2_strength = 0.0;
+  std::string store_stem;   // store file stem, no directory, no extension
+  /// attack::config_fingerprint of the corruption physics. The worker
+  /// recomputes its own and refuses the task on a mismatch — a coordinator
+  /// and worker disagreeing on physics must fail loudly, not poison a store.
+  std::string fingerprint;
+  bool baseline = false;
+  std::vector<attack::AttackScenario> scenarios;
+};
+
+/// Worker -> coordinator event.
+struct EventMessage {
+  enum class Type { kHello, kHeartbeat, kDone, kFatal };
+  Type type = Type::kHeartbeat;
+  std::uint64_t pid = 0;        // kHello
+  std::uint64_t task_id = 0;    // kDone / kFatal
+  std::uint64_t evaluated = 0;  // kDone: scenarios computed fresh
+  std::uint64_t cached = 0;     // kDone: already present in the worker store
+  std::string message;          // kFatal: exception text
+};
+
+/// Encoders return one complete line including the trailing '\n'.
+std::string encode_task(const TaskMessage& task);
+std::string encode_shutdown();
+std::string encode_event(const EventMessage& event);
+
+/// True when `line` is a shutdown command. Malformed JSON still throws.
+bool is_shutdown(const std::string& line);
+
+/// Decoders throw std::invalid_argument (with the parse position or the
+/// offending field) on anything malformed.
+TaskMessage decode_task(const std::string& line);
+EventMessage decode_event(const std::string& line);
+
+}  // namespace safelight::dist

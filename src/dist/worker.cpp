@@ -1,0 +1,292 @@
+#include "dist/worker.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "attacks/corruption.hpp"
+#include "common/config.hpp"
+#include "core/evaluation.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/result_store.hpp"
+#include "core/variants.hpp"
+#include "core/zoo.hpp"
+#include "dist/protocol.hpp"
+#include "nn/models.hpp"
+
+namespace safelight::dist {
+
+namespace {
+
+/// Serializes event lines onto the protocol fd: the heartbeat thread and
+/// the task loop share it, and an interleaved half-line would corrupt the
+/// stream. Write failures are swallowed — a dead coordinator (EPIPE) is
+/// detected by the task loop's EOF, not here.
+class ProtocolWriter {
+ public:
+  explicit ProtocolWriter(int fd) : fd_(fd) {}
+
+  void send(const EventMessage& event) {
+    const std::string line = encode_event(event);
+    std::lock_guard<std::mutex> guard(mutex_);
+    const char* data = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+/// Emits {"type":"heartbeat"} every interval until destroyed. SIGSTOP (the
+/// hang seam) freezes this thread with the rest of the process, which is
+/// precisely what lets the coordinator's timeout fire.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(ProtocolWriter& writer, double interval_s)
+      : writer_(writer),
+        interval_(interval_s),
+        thread_([this] { run(); }) {}
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      lock.unlock();
+      EventMessage beat;
+      beat.type = EventMessage::Type::kHeartbeat;
+      writer_.send(beat);
+      lock.lock();
+    }
+  }
+
+  ProtocolWriter& writer_;
+  std::chrono::duration<double> interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Blocking '\n'-delimited reader over the protocol-in fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next complete line (terminator stripped), or nullopt on EOF. A
+  /// trailing fragment with no terminator is discarded: a coordinator that
+  /// died mid-write never finished that command.
+  std::optional<std::string> next_line() {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (n == 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Everything the worker keeps alive per store stem: the trained model, the
+/// evaluator conditioned from it, and this worker's own store file. Tasks
+/// of one variant arrive in chunks; caching the deployment across them is
+/// what makes small chunk sizes affordable.
+struct StemState {
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<core::AttackEvaluator> evaluator;
+  std::unique_ptr<core::ResultStore> store;
+};
+
+/// Chaos/fault seams, read once from the environment (see worker.hpp).
+struct Seams {
+  std::string poison;     // SAFELIGHT_DIST_POISON
+  std::string hang;       // SAFELIGHT_DIST_HANG
+  std::string hang_once;  // SAFELIGHT_DIST_HANG_ONCE sentinel path
+};
+
+Seams read_seams() {
+  Seams seams;
+  if (const char* value = std::getenv("SAFELIGHT_DIST_POISON")) {
+    seams.poison = value;
+  }
+  if (const char* value = std::getenv("SAFELIGHT_DIST_HANG")) {
+    seams.hang = value;
+  }
+  if (const char* value = std::getenv("SAFELIGHT_DIST_HANG_ONCE")) {
+    seams.hang_once = value;
+  }
+  return seams;
+}
+
+void apply_seams(const Seams& seams, const std::string& scenario_id) {
+  if (!seams.poison.empty() &&
+      scenario_id.find(seams.poison) != std::string::npos) {
+    std::_Exit(41);  // deterministic poison: fails identically on retry
+  }
+  if (!seams.hang.empty() &&
+      scenario_id.find(seams.hang) != std::string::npos) {
+    bool should_hang = true;
+    if (!seams.hang_once.empty()) {
+      // Only the first process to create the sentinel hangs, so the
+      // reassigned task completes on the replacement worker.
+      const int fd =
+          ::open(seams.hang_once.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+      if (fd >= 0) {
+        ::close(fd);
+      } else {
+        should_hang = false;
+      }
+    }
+    if (should_hang) ::raise(SIGSTOP);  // silences the heartbeat thread too
+  }
+}
+
+StemState& state_for(std::map<std::string, StemState>& stems,
+                     core::ModelZoo& zoo, const std::string& store_dir,
+                     const TaskMessage& task) {
+  auto it = stems.find(task.store_stem);
+  if (it != stems.end()) return it->second;
+
+  const core::ExperimentSetup setup = core::experiment_setup(
+      nn::model_id_from_string(task.model), config::parse_scale(task.scale));
+  const core::VariantSpec variant = core::variant_by_name(
+      task.variant, static_cast<float>(task.l2_strength));
+
+  StemState state;
+  // The coordinator trains every referenced zoo entry before dispatching,
+  // so this is a cache load; training here anyway (e.g. after a corrupted
+  // entry) is correct, just slow.
+  state.model = zoo.get_or_train(setup, variant, /*verbose=*/false);
+  state.evaluator = std::make_unique<core::AttackEvaluator>(
+      setup, *state.model, variant.name, /*cache_dir=*/"",
+      attack::CorruptionConfig{});
+  state.store = std::make_unique<core::ResultStore>(
+      store_dir + "/" + task.store_stem + ".sweep.csv");
+  return stems.emplace(task.store_stem, std::move(state)).first->second;
+}
+
+void run_task(const TaskMessage& task, StemState& state, const Seams& seams,
+              const std::atomic<bool>* cancel, EventMessage& done) {
+  // Refuse physics the coordinator and this binary disagree on: a silently
+  // different corruption model would cache wrong accuracies under keys the
+  // assembly run trusts.
+  const std::string local_fingerprint =
+      attack::config_fingerprint(attack::CorruptionConfig{});
+  if (task.fingerprint != local_fingerprint) {
+    throw std::runtime_error(
+        "worker: corruption fingerprint mismatch (task " + task.fingerprint +
+        " vs local " + local_fingerprint +
+        "); coordinator and worker binaries disagree on attack physics");
+  }
+
+  const std::size_t eval_count = state.evaluator->setup().eval_count;
+  if (task.baseline) {
+    const std::string key = core::baseline_store_key(eval_count);
+    if (state.store->contains(key)) {
+      ++done.cached;
+    } else {
+      state.store->put(key, state.evaluator->baseline_accuracy());
+      ++done.evaluated;
+    }
+  }
+  for (const auto& scenario : task.scenarios) {
+    if (cancel != nullptr && cancel->load()) {
+      throw core::ExperimentCancelled("worker");
+    }
+    const std::string key = core::scenario_store_key(scenario, eval_count);
+    if (state.store->contains(key)) {
+      ++done.cached;
+      continue;
+    }
+    apply_seams(seams, scenario.id());
+    state.store->put(key, state.evaluator->evaluate_scenario(scenario));
+    ++done.evaluated;
+  }
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  ProtocolWriter writer(options.protocol_out);
+  EventMessage hello;
+  hello.type = EventMessage::Type::kHello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  writer.send(hello);
+
+  HeartbeatThread heartbeat(writer, options.heartbeat_interval_s);
+  std::filesystem::create_directories(options.store_dir);
+  core::ModelZoo zoo(options.zoo_dir);
+  const Seams seams = read_seams();
+  std::map<std::string, StemState> stems;
+
+  LineReader reader(options.protocol_in);
+  while (auto line = reader.next_line()) {
+    if (line->empty()) continue;
+    if (is_shutdown(*line)) break;
+    const TaskMessage task = decode_task(*line);
+    EventMessage done;
+    done.type = EventMessage::Type::kDone;
+    done.task_id = task.id;
+    try {
+      StemState& state =
+          state_for(stems, zoo, options.store_dir, task);
+      run_task(task, state, seams, options.cancel, done);
+      writer.send(done);
+    } catch (const core::ExperimentCancelled&) {
+      throw;  // CLI maps this to exit 130 like the in-process path
+    } catch (const std::exception& error) {
+      EventMessage fatal;
+      fatal.type = EventMessage::Type::kFatal;
+      fatal.task_id = task.id;
+      fatal.message = error.what();
+      writer.send(fatal);
+    }
+  }
+  return 0;
+}
+
+}  // namespace safelight::dist

@@ -666,6 +666,90 @@ TEST(Json, EscapesSpecialCharacters) {
             std::string::npos);
 }
 
+TEST(Json, CompactModeEmitsSingleLineDocuments) {
+  JsonWriter json(/*compact=*/true);
+  json.begin_object();
+  json.key("type").value("task");
+  json.key("id").value(std::uint64_t{3});
+  json.key("scenarios").begin_array();
+  json.value("hotspot/CONV+FC/f0.05/s1003");
+  json.end_array();
+  json.end_object();
+  // One line + trailing '\n': exactly the NDJSON framing the distributed
+  // protocol writes onto its pipes.
+  EXPECT_EQ(std::move(json).str(),
+            "{\"type\":\"task\",\"id\":3,"
+            "\"scenarios\":[\"hotspot/CONV+FC/f0.05/s1003\"]}\n");
+}
+
+TEST(Json, ParserRoundTripsWriterOutput) {
+  JsonWriter json(/*compact=*/true);
+  json.begin_object();
+  json.key("name").value("a\"b\\c\nd");
+  json.key("count").value(std::int64_t{-2});
+  json.key("ratio").value(0.25, 6);
+  json.key("on").value(true);
+  json.key("off").value(false);
+  json.key("gap").null_value();
+  json.key("list").begin_array().value(std::uint64_t{1}).value(
+      std::uint64_t{2});
+  json.end_array();
+  json.end_object();
+  const JsonValue doc = JsonValue::parse(std::move(json).str());
+  EXPECT_EQ(doc.at("name").as_string(), "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(doc.at("count").as_number(), -2.0);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 0.25);
+  EXPECT_TRUE(doc.at("on").as_bool());
+  EXPECT_FALSE(doc.at("off").as_bool());
+  EXPECT_EQ(doc.at("gap").type(), JsonValue::Type::kNull);
+  ASSERT_EQ(doc.at("list").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("list").as_array()[1].as_uint(), 2u);
+  EXPECT_TRUE(doc.has("name"));
+  EXPECT_FALSE(doc.has("absent"));
+}
+
+TEST(Json, ParserRejectsMalformedDocumentsWithByteOffset) {
+  const char* bad[] = {
+      "",                       // empty
+      "{",                      // truncated object
+      "{\"a\":1,}",             // trailing comma
+      "{\"a\":1}{",             // trailing garbage
+      "{\"a\":1,\"a\":2}",      // duplicate key
+      "[1 2]",                  // missing comma
+      "\"unterminated",         // unterminated string
+      "{\"a\":truf}",           // bad literal
+      "nul",                    // bad literal
+      "{\"a\":\"\\x\"}",        // bad escape
+      "\"\\u12g4\"",            // bad \u digit
+      "{\"k\":01e}",            // trailing junk after number
+      "{1:2}",                  // non-string key
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(JsonValue::parse(text), std::invalid_argument) << text;
+  }
+  try {
+    JsonValue::parse("{\"a\":1,}");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+}
+
+TEST(Json, ParserAccessorsRejectTypeMismatches) {
+  const JsonValue doc = JsonValue::parse("{\"n\":1.5,\"neg\":-1}");
+  EXPECT_THROW(doc.at("n").as_string(), std::invalid_argument);
+  EXPECT_THROW(doc.at("n").as_bool(), std::invalid_argument);
+  EXPECT_THROW(doc.at("n").as_array(), std::invalid_argument);
+  EXPECT_THROW(doc.at("n").as_uint(), std::invalid_argument);   // 1.5
+  EXPECT_THROW(doc.at("neg").as_uint(), std::invalid_argument); // negative
+  EXPECT_THROW(doc.at("missing"), std::invalid_argument);
+  EXPECT_THROW(doc.at("n").at("x"), std::invalid_argument);  // not an object
+}
+
+TEST(Json, ParserDecodesUnicodeEscapes) {
+  const JsonValue doc = JsonValue::parse("\"\\u0041\\u00e9\\u20ac\"");
+  EXPECT_EQ(doc.as_string(), "A\xC3\xA9\xE2\x82\xAC");  // A, é, €
+}
+
 TEST(Json, StructuralMisuseThrows) {
   {
     JsonWriter json;

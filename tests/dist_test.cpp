@@ -1,0 +1,422 @@
+// Distributed sweep sharding: protocol, multi-writer store merge, and the
+// coordinator/worker chaos harness.
+//
+// The end-to-end tests spawn the real `safelight` binary (the coordinator
+// re-execs it as workers via /proc/self/exe) on the tiniest deterministic
+// sweep and assert the one property the whole dist layer exists for:
+// *distributed output is bitwise-identical to a single-process run* — with
+// healthy workers, under injected crashes (PR 6 plug pulls armed inside
+// the workers via --chaos), and across hung-worker kills. Worker-failure
+// semantics (heartbeat-timeout reassignment, retry accounting, poison-task
+// quarantine with nonzero exit and a named report) are asserted against
+// the machine-parsable "[dist] summary:" line and stderr.
+//
+// These tests fork whole process trees; they carry the `dist` ctest label
+// and stay out of the unit shard. See docs/testing.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.hpp"
+#include "common/fault.hpp"
+#include "core/result_store.hpp"
+#include "dist/protocol.hpp"
+#include "dist/store_merge.hpp"
+#include "test_util.hpp"
+
+namespace safelight {
+namespace {
+
+using dist::EventMessage;
+using dist::TaskMessage;
+
+// ---------------------------------------------------------------------------
+// NDJSON protocol
+// ---------------------------------------------------------------------------
+
+TEST(DistProtocol, TaskRoundTripsThroughNdjsonBitExactly) {
+  TaskMessage task;
+  task.id = 42;
+  task.model = "cnn1";
+  task.scale = "tiny";
+  task.variant = "l2+n3";
+  task.l2_strength = 3e-4;  // not exactly representable in decimal
+  task.store_stem = "cnn1_tiny_l2+n3_deadbeef_cafe";
+  task.fingerprint = "e43e271b";
+  task.baseline = true;
+  task.scenarios = attack::scenario_grid(
+      {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
+      {attack::AttackTarget::kBothBlocks}, {0.1, 0.05}, 2);
+
+  const std::string line = dist::encode_task(task);
+  ASSERT_EQ(line.back(), '\n');
+  ASSERT_EQ(line.find('\n'), line.size() - 1) << "task must be one line";
+
+  const TaskMessage decoded = dist::decode_task(line);
+  EXPECT_EQ(decoded.id, task.id);
+  EXPECT_EQ(decoded.model, task.model);
+  EXPECT_EQ(decoded.scale, task.scale);
+  EXPECT_EQ(decoded.variant, task.variant);
+  EXPECT_EQ(decoded.l2_strength, task.l2_strength);  // exact double equality
+  EXPECT_EQ(decoded.store_stem, task.store_stem);
+  EXPECT_EQ(decoded.fingerprint, task.fingerprint);
+  EXPECT_EQ(decoded.baseline, task.baseline);
+  ASSERT_EQ(decoded.scenarios.size(), task.scenarios.size());
+  for (std::size_t i = 0; i < task.scenarios.size(); ++i) {
+    // Store keys are derived from the id, which embeds the fraction double;
+    // id equality is exactly the bit-exactness the cache needs.
+    EXPECT_EQ(decoded.scenarios[i].id(), task.scenarios[i].id());
+    EXPECT_EQ(decoded.scenarios[i].fraction, task.scenarios[i].fraction);
+  }
+}
+
+TEST(DistProtocol, EventsRoundTrip) {
+  EventMessage hello;
+  hello.type = EventMessage::Type::kHello;
+  hello.pid = 12345;
+  const EventMessage hello2 = dist::decode_event(dist::encode_event(hello));
+  EXPECT_EQ(hello2.type, EventMessage::Type::kHello);
+  EXPECT_EQ(hello2.pid, 12345u);
+
+  EventMessage done;
+  done.type = EventMessage::Type::kDone;
+  done.task_id = 7;
+  done.evaluated = 3;
+  done.cached = 2;
+  const EventMessage done2 = dist::decode_event(dist::encode_event(done));
+  EXPECT_EQ(done2.type, EventMessage::Type::kDone);
+  EXPECT_EQ(done2.task_id, 7u);
+  EXPECT_EQ(done2.evaluated, 3u);
+  EXPECT_EQ(done2.cached, 2u);
+
+  EventMessage fatal;
+  fatal.type = EventMessage::Type::kFatal;
+  fatal.task_id = 9;
+  fatal.message = "fingerprint mismatch: \"a\" vs \"b\"\nsecond line";
+  const EventMessage fatal2 = dist::decode_event(dist::encode_event(fatal));
+  EXPECT_EQ(fatal2.type, EventMessage::Type::kFatal);
+  EXPECT_EQ(fatal2.task_id, 9u);
+  EXPECT_EQ(fatal2.message, fatal.message);  // newline survives as \n escape
+}
+
+TEST(DistProtocol, ShutdownIsRecognizedAndMalformedLinesThrow) {
+  EXPECT_TRUE(dist::is_shutdown(dist::encode_shutdown()));
+  EXPECT_FALSE(dist::is_shutdown(dist::encode_event(EventMessage{})));
+  EXPECT_THROW(dist::decode_task("{\"type\":\"shutdown\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(dist::decode_task("{not json"), std::invalid_argument);
+  EXPECT_THROW(dist::decode_event("{\"type\":\"task\"}"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-writer store merge
+// ---------------------------------------------------------------------------
+
+void write_store(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+}
+
+TEST(StoreMerge, DedupsIdenticalRowsAndAppendsFreshOnes) {
+  TempDir dir("merge_dedup");
+  const std::string w0 = dir.path() + "/w0.csv";
+  const std::string w1 = dir.path() + "/w1.csv";
+  const std::string dest = dir.path() + "/dest.csv";
+  // Speculative execution makes byte-identical duplicates across workers
+  // the *normal* case, not a corner case.
+  write_store(w0, "key,accuracy\na/n300,0.5\nb/n300,0.25\n");
+  write_store(w1, "key,accuracy\nb/n300,0.25\nc/n300,0.75\n");
+
+  const dist::MergeStats stats = dist::merge_stores({w0, w1}, dest);
+  EXPECT_EQ(stats.sources, 2u);
+  EXPECT_EQ(stats.appended, 3u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(read_file_bytes(dest),
+            "key,accuracy\na/n300,0.5\nb/n300,0.25\nc/n300,0.75\n");
+
+  // Re-merging the same sources is a no-op (idempotent resume).
+  const dist::MergeStats again = dist::merge_stores({w0, w1}, dest);
+  EXPECT_EQ(again.appended, 0u);
+  EXPECT_EQ(again.duplicates, 4u);
+}
+
+TEST(StoreMerge, ByteConflictOnOneKeyIsAHardError) {
+  TempDir dir("merge_conflict");
+  const std::string w0 = dir.path() + "/w0.csv";
+  const std::string w1 = dir.path() + "/w1.csv";
+  const std::string dest = dir.path() + "/dest.csv";
+  write_store(w0, "key,accuracy\na/n300,0.5\n");
+  write_store(w1, "key,accuracy\na/n300,0.5000001\n");
+
+  try {
+    dist::merge_stores({w0, w1}, dest);
+    FAIL() << "conflicting values must not merge silently";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("merge conflict"), std::string::npos) << what;
+    EXPECT_NE(what.find("a/n300"), std::string::npos) << what;
+    EXPECT_NE(what.find("0.5000001"), std::string::npos) << what;
+  }
+}
+
+TEST(StoreMerge, MissingEmptyAndTornWorkerStoresAreHandled) {
+  TempDir dir("merge_torn");
+  const std::string missing = dir.path() + "/never_written.csv";
+  const std::string empty = dir.path() + "/empty.csv";
+  const std::string torn = dir.path() + "/torn.csv";
+  const std::string dest = dir.path() + "/dest.csv";
+  write_store(empty, "");
+  // A chaos kill mid-append leaves a torn final row; it must be skipped,
+  // not merged as a mangled value.
+  write_store(torn, "key,accuracy\na/n300,0.5\nb/n300,0.2");
+
+  const dist::MergeStats stats =
+      dist::merge_stores({missing, empty, torn}, dest);
+  EXPECT_EQ(stats.sources, 2u);  // the missing file is not an error
+  EXPECT_EQ(stats.appended, 1u);
+  EXPECT_EQ(read_file_bytes(dest), "key,accuracy\na/n300,0.5\n");
+}
+
+TEST(StoreMerge, MergedFileIsALoadableResultStore) {
+  TempDir dir("merge_loadable");
+  const std::string w0 = dir.path() + "/w0.csv";
+  const std::string dest = dir.path() + "/dest.csv";
+  // Rows written by a real ResultStore (the %.17g format the pipeline
+  // uses), merged, must load back bit-exactly.
+  {
+    core::ResultStore source(w0);
+    source.put("a/n300", 1.0 / 3.0);
+    source.put("baseline/n300", 0.9375);
+  }
+  dist::merge_stores({w0}, dest);
+  core::ResultStore merged(dest);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.lookup("a/n300"), 1.0 / 3.0);
+  EXPECT_EQ(merged.lookup("baseline/n300"), 0.9375);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end coordinator/worker runs (real binary, real subprocesses)
+// ---------------------------------------------------------------------------
+
+constexpr double kRunTimeoutSeconds = 240.0;
+
+struct DistRunResult {
+  ProcessResult proc;
+  std::map<std::string, std::string> summary;  // parsed "[dist] summary:" k=v
+  std::string csv_bytes;                       // fig7_susceptibility.csv
+  std::string json_bytes;                      // susceptibility_cnn1.json
+};
+
+/// Runs `safelight run susceptibility` (cnn1, tiny, 2 seeds, 1 thread) in
+/// `dir` with extra flags/env; parses the dist summary line when present.
+DistRunResult run_susceptibility(const std::string& dir,
+                                 const std::vector<std::string>& extra_flags,
+                                 const std::vector<std::string>& extra_env,
+                                 double kill_after_s = 0.0,
+                                 int kill_signal = 0) {
+  std::vector<std::string> argv = {
+      SAFELIGHT_CLI_BIN, "run",     "susceptibility",
+      "--model",         "cnn1",    "--scale",
+      "tiny",            "--seeds", "2",
+      "--threads",       "1",       "--zoo",
+      dir + "/zoo",      "--out",   dir + "/out",
+      "--json"};
+  argv.insert(argv.end(), extra_flags.begin(), extra_flags.end());
+
+  DistRunResult result;
+  result.proc = run_process(argv, extra_env, dir, kRunTimeoutSeconds,
+                            kill_after_s, kill_signal);
+  std::istringstream lines(result.proc.stdout_text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("[dist] summary:", 0) != 0) continue;
+    std::istringstream fields(line.substr(15));
+    std::string field;
+    while (fields >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq != std::string::npos) {
+        result.summary[field.substr(0, eq)] = field.substr(eq + 1);
+      }
+    }
+  }
+  result.csv_bytes = read_file_bytes(dir + "/out/fig7_susceptibility.csv");
+  result.json_bytes = read_file_bytes(dir + "/out/susceptibility_cnn1.json");
+  return result;
+}
+
+std::uint64_t summary_count(const DistRunResult& result,
+                            const std::string& key) {
+  const auto it = result.summary.find(key);
+  return it == result.summary.end() ? 0 : std::stoull(it->second);
+}
+
+/// The single-process reference bytes every distributed variant must
+/// reproduce exactly. Computed once (training included) and reused.
+const DistRunResult& reference_run() {
+  static const DistRunResult reference = [] {
+    static TempDir dir("dist_reference");  // outlives every comparison
+    DistRunResult run = run_susceptibility(dir.path(), {}, {});
+    EXPECT_EQ(run.proc.exit_code, 0) << run.proc.stderr_text;
+    EXPECT_FALSE(run.csv_bytes.empty());
+    EXPECT_FALSE(run.json_bytes.empty());
+    return run;
+  }();
+  return reference;
+}
+
+const std::string& reference_csv() { return reference_run().csv_bytes; }
+const std::string& reference_json() { return reference_run().json_bytes; }
+
+TEST(DistRun, TwoWorkersMatchSingleProcessBitwise) {
+  TempDir dir("dist_two_workers");
+  const DistRunResult run =
+      run_susceptibility(dir.path(), {"--workers", "2"}, {});
+  ASSERT_EQ(run.proc.exit_code, 0) << run.proc.stderr_text;
+  ASSERT_FALSE(run.summary.empty()) << run.proc.stdout_text;
+  EXPECT_EQ(summary_count(run, "workers"), 2u);
+  EXPECT_EQ(summary_count(run, "crashes"), 0u);
+  EXPECT_EQ(summary_count(run, "quarantined"), 0u);
+  EXPECT_GE(summary_count(run, "tasks"), 2u);
+  EXPECT_EQ(summary_count(run, "completed"), summary_count(run, "tasks"));
+  EXPECT_EQ(run.csv_bytes, reference_csv());
+  EXPECT_EQ(run.json_bytes, reference_json());
+}
+
+TEST(DistRun, SecondRunIsFullyCachedAndPlansNoTasks) {
+  TempDir dir("dist_cached");
+  const DistRunResult first =
+      run_susceptibility(dir.path(), {"--workers", "2"}, {});
+  ASSERT_EQ(first.proc.exit_code, 0) << first.proc.stderr_text;
+  // Same spec, same cache: the planner must find every cell cached and
+  // dispatch nothing.
+  const DistRunResult second =
+      run_susceptibility(dir.path(), {"--workers", "2"}, {});
+  ASSERT_EQ(second.proc.exit_code, 0) << second.proc.stderr_text;
+  EXPECT_EQ(summary_count(second, "tasks"), 0u);
+  EXPECT_EQ(second.csv_bytes, reference_csv());
+}
+
+TEST(DistRun, ChaosKillsAreRetriedToBitwiseIdenticalOutput) {
+  // PR 6 plug pulls armed *inside the workers*: every durable worker write
+  // may _Exit(42) with p = 0.25. The coordinator must respawn, retry and
+  // still converge on the exact reference bytes (workers resume from their
+  // own stores, so progress is monotone and termination guaranteed).
+  TempDir dir("dist_chaos");
+  const DistRunResult run = run_susceptibility(
+      dir.path(),
+      {"--workers", "4", "--chaos", "0.25", "--max-task-retries", "1000"},
+      {});
+  ASSERT_EQ(run.proc.exit_code, 0) << run.proc.stderr_text;
+  EXPECT_GE(summary_count(run, "crashes"), 1u)
+      << "chaos run killed no workers; the harness proved nothing: "
+      << run.proc.stdout_text;
+  EXPECT_GE(summary_count(run, "retries"), 1u);
+  EXPECT_EQ(summary_count(run, "quarantined"), 0u);
+  EXPECT_EQ(run.csv_bytes, reference_csv());
+  EXPECT_EQ(run.json_bytes, reference_json());
+}
+
+TEST(DistRun, HungWorkerIsKilledByHeartbeatTimeoutAndWorkReassigned) {
+  TempDir dir("dist_hang");
+  // The worker SIGSTOPs itself at the matching scenario (one-shot via the
+  // sentinel); its heartbeat falls silent, the coordinator SIGKILLs it
+  // after --heartbeat-timeout, and the re-queued task completes on the
+  // respawned replacement. A single worker makes this deterministic: with a
+  // second worker present, work-stealing races (and usually beats) the
+  // heartbeat kill — that path has its own test below.
+  const DistRunResult run = run_susceptibility(
+      dir.path(), {"--workers", "1", "--heartbeat-timeout", "1"},
+      {"SAFELIGHT_DIST_HANG=hotspot/CONV+FC/f0.1",
+       "SAFELIGHT_DIST_HANG_ONCE=" + dir.path() + "/hang_sentinel"});
+  ASSERT_EQ(run.proc.exit_code, 0) << run.proc.stderr_text;
+  EXPECT_GE(summary_count(run, "hang_kills"), 1u) << run.proc.stdout_text;
+  EXPECT_NE(run.proc.stderr_text.find("silent for"), std::string::npos)
+      << run.proc.stderr_text;
+  EXPECT_EQ(run.csv_bytes, reference_csv());
+}
+
+TEST(DistRun, HungTaskIsStolenByIdleWorkerBeforeAnyTimeout) {
+  TempDir dir("dist_steal");
+  // With the heartbeat timeout far beyond the test timeout, a hung worker
+  // is never killed — the only way the sweep can finish is the idle second
+  // worker speculatively duplicating the hung in-flight task. The duplicate
+  // rows merge as byte-identical dedups, so the CSV still matches.
+  const DistRunResult run = run_susceptibility(
+      dir.path(), {"--workers", "2", "--heartbeat-timeout", "600"},
+      {"SAFELIGHT_DIST_HANG=hotspot/CONV+FC/f0.1",
+       "SAFELIGHT_DIST_HANG_ONCE=" + dir.path() + "/hang_sentinel"});
+  ASSERT_EQ(run.proc.exit_code, 0) << run.proc.stderr_text;
+  EXPECT_GE(summary_count(run, "steals"), 1u) << run.proc.stdout_text;
+  EXPECT_EQ(summary_count(run, "hang_kills"), 0u) << run.proc.stdout_text;
+  EXPECT_EQ(run.csv_bytes, reference_csv());
+}
+
+TEST(DistRun, PoisonTaskIsQuarantinedAfterCappedRetriesWithNonzeroExit) {
+  TempDir dir("dist_poison");
+  // Scenarios matching the substring _Exit(41) deterministically — a task
+  // that can never succeed. With --max-task-retries 2 it must be given up
+  // after exactly 3 failures, loudly, with exit code 3.
+  const std::string poison = "actuation/CONV/f0.01";
+  const DistRunResult run = run_susceptibility(
+      dir.path(), {"--workers", "2", "--max-task-retries", "2"},
+      {"SAFELIGHT_DIST_POISON=" + poison});
+  EXPECT_EQ(run.proc.exit_code, 3) << run.proc.stderr_text;
+  EXPECT_GE(summary_count(run, "quarantined"), 1u) << run.proc.stdout_text;
+  const std::string& err = run.proc.stderr_text;
+  EXPECT_NE(err.find("QUARANTINED"), std::string::npos) << err;
+  EXPECT_NE(err.find(poison), std::string::npos)
+      << "quarantine report must name the lost scenarios: " << err;
+  EXPECT_NE(err.find("after 3 failures"), std::string::npos) << err;
+  EXPECT_NE(err.find("skipping report assembly"), std::string::npos) << err;
+}
+
+TEST(DistRun, SigtermExitsGracefullyWith130AndResumeHint) {
+  TempDir dir("dist_sigterm");
+  // Enough scenarios that SIGTERM lands mid-sweep; the handler must treat
+  // it exactly like SIGINT: finish the scenario, flush, exit 130.
+  std::vector<std::string> argv = {
+      SAFELIGHT_CLI_BIN, "run",      "susceptibility",
+      "--model",         "cnn1",     "--scale",
+      "tiny",            "--seeds",  "40",
+      "--threads",       "1",        "--zoo",
+      dir.path() + "/zoo", "--out",  dir.path() + "/out"};
+  const ProcessResult proc =
+      run_process(argv, {}, dir.path(), kRunTimeoutSeconds,
+                  /*kill_after_s=*/0.8, SIGTERM);
+  ASSERT_FALSE(proc.timed_out) << proc.stderr_text;
+  EXPECT_EQ(proc.exit_code, 130)
+      << "signal=" << proc.term_signal << "\n" << proc.stderr_text;
+  EXPECT_NE(proc.stderr_text.find("rerun the same command to resume"),
+            std::string::npos)
+      << proc.stderr_text;
+}
+
+TEST(DistRun, NonShardableExperimentFallsBackInProcessWithANote) {
+  TempDir dir("dist_fallback");
+  std::vector<std::string> argv = {
+      SAFELIGHT_CLI_BIN, "run",     "detection",
+      "--model",         "cnn1",    "--scale",
+      "tiny",            "--seeds", "1",
+      "--threads",       "1",       "--workers",
+      "2",               "--zoo",   dir.path() + "/zoo",
+      "--out",           dir.path() + "/out"};
+  const ProcessResult proc =
+      run_process(argv, {}, dir.path(), kRunTimeoutSeconds);
+  ASSERT_EQ(proc.exit_code, 0) << proc.stderr_text;
+  EXPECT_NE(proc.stdout_text.find(
+                "[dist] note: experiment 'detection' is not shardable"),
+            std::string::npos)
+      << proc.stdout_text;
+}
+
+}  // namespace
+}  // namespace safelight

@@ -64,26 +64,45 @@ std::string read_file(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// A crashed or wedged child must never hang the whole suite; everything a
+/// fault test spawns waits at most this long before a SIGKILL + diagnosis.
+constexpr double kChildTimeoutSeconds = 120.0;
+
 /// Runs the real CLI binary as a child process on the tiniest deterministic
 /// experiment (susceptibility, cnn1, tiny scale, 1 seed, 1 thread), with
-/// zoo and output directories under `dir`. `extra` appends raw flag text
-/// (e.g. fault flags); `env_prefix` prepends shell environment assignments.
+/// zoo and output directories under `dir`. `extra` appends whitespace-
+/// separated flag text (e.g. fault flags); `env_prefix` holds whitespace-
+/// separated KEY=value environment assignments. The wait is bounded
+/// (kChildTimeoutSeconds): a hung child is SIGKILLed and reported with its
+/// captured output instead of wedging ctest.
 CliResult run_cli(const std::string& dir, const std::string& label,
                   const std::string& extra = "",
                   const std::string& env_prefix = "") {
-  const std::string stdout_path = dir + "/" + label + ".stdout";
-  const std::string stderr_path = dir + "/" + label + ".stderr";
-  std::ostringstream cmd;
-  cmd << env_prefix << (env_prefix.empty() ? "" : " ") << SAFELIGHT_CLI_BIN
-      << " run susceptibility --model cnn1 --scale tiny --seeds 1"
-      << " --threads 1 --zoo " << dir << "/zoo --out " << dir << "/out"
-      << " --json" << (extra.empty() ? "" : " ") << extra << " > "
-      << stdout_path << " 2> " << stderr_path;
-  const int status = std::system(cmd.str().c_str());
+  std::vector<std::string> argv = {
+      SAFELIGHT_CLI_BIN, "run",   "susceptibility",
+      "--model",         "cnn1",  "--scale",
+      "tiny",            "--seeds", "1",
+      "--threads",       "1",     "--zoo",
+      dir + "/zoo",      "--out", dir + "/out",
+      "--json"};
+  std::istringstream extra_in(extra);
+  for (std::string token; extra_in >> token;) argv.push_back(token);
+  std::vector<std::string> env;
+  std::istringstream env_in(env_prefix);
+  for (std::string token; env_in >> token;) env.push_back(token);
+
+  const ProcessResult proc =
+      run_process(argv, env, dir, kChildTimeoutSeconds);
   CliResult result;
-  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  result.stdout_text = read_file(stdout_path);
-  result.stderr_text = read_file(stderr_path);
+  result.exit_code = proc.timed_out ? -1 : proc.exit_code;
+  result.stdout_text = proc.stdout_text;
+  result.stderr_text = proc.stderr_text;
+  if (proc.timed_out) {
+    result.stderr_text +=
+        "\n[test] child '" + label + "' exceeded " +
+        std::to_string(kChildTimeoutSeconds) +
+        "s and was SIGKILLed; captured output above";
+  }
   return result;
 }
 
@@ -239,7 +258,8 @@ TEST(FaultInjection, TornJsonlMirrorIsRepairedOnReopen) {
     std::_Exit(1);            // reaching this means the point never fired
   }
   int status = 0;
-  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(wait_with_timeout(child, kChildTimeoutSeconds, &status))
+      << "forked child hung and was SIGKILLed";
   ASSERT_TRUE(WIFEXITED(status));
   ASSERT_EQ(WEXITSTATUS(status), fault::kPlugPulledExitCode);
 

@@ -2,7 +2,11 @@
 // (parallel == serial == repeated run), resume-after-interrupt through the
 // persistent store, and clean-baseline deduplication.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -22,6 +26,122 @@ std::vector<attack::AttackScenario> small_grid(std::size_t seeds = 2) {
   return attack::scenario_grid(
       {attack::AttackVector::kActuation, attack::AttackVector::kHotspot},
       {attack::AttackTarget::kBothBlocks}, {0.05, 0.10}, seeds, 100);
+}
+
+// ------------------------------------------------------------ writer lock
+
+TEST(StoreWriterLock, SecondLiveWriterFailsFastNamingTheOwner) {
+  TempDir dir("store_lock");
+  const std::string path = dir.path() + "/store.csv";
+  ResultStore first(path);
+  EXPECT_TRUE(std::filesystem::exists(path + ".lock"));
+  try {
+    ResultStore second(path);
+    FAIL() << "second live writer must not acquire the lock";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("locked by live process"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(::getpid())), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(path + ".lock"), std::string::npos) << what;
+  }
+}
+
+TEST(StoreWriterLock, ReleasedOnDestructionAndReacquirable) {
+  TempDir dir("store_lock_release");
+  const std::string path = dir.path() + "/store.csv";
+  { ResultStore store(path); }
+  EXPECT_FALSE(std::filesystem::exists(path + ".lock"));
+  testing::internal::CaptureStderr();
+  ResultStore reopened(path);
+  // A clean handover is silent: no stale-takeover warning.
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  EXPECT_TRUE(std::filesystem::exists(path + ".lock"));
+}
+
+TEST(StoreWriterLock, StaleLockFromDeadWriterIsTakenOverWithWarning) {
+  TempDir dir("store_lock_stale");
+  const std::string path = dir.path() + "/store.csv";
+  // A crashed writer never runs destructors: fabricate its leftover lock
+  // with a pid that is guaranteed dead (fork + _Exit + waitpid = reaped).
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) std::_Exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  { std::ofstream(path + ".lock") << child << "\n"; }
+
+  testing::internal::CaptureStderr();
+  ResultStore store(path);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("taking over stale lock"), std::string::npos)
+      << warning;
+  EXPECT_NE(warning.find(std::to_string(child)), std::string::npos) << warning;
+  store.put("k", 0.5);
+  EXPECT_TRUE(store.contains("k"));
+}
+
+TEST(StoreWriterLock, UnparsableLockBodyReadsAsStale) {
+  TempDir dir("store_lock_garbage");
+  const std::string path = dir.path() + "/store.csv";
+  { std::ofstream(path + ".lock") << "not-a-pid\n"; }
+  testing::internal::CaptureStderr();
+  ResultStore store(path);  // must not throw
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("stale lock"),
+            std::string::npos);
+}
+
+TEST(StoreWriterLock, InMemoryStoreTakesNoLock) {
+  ResultStore a("");
+  ResultStore b("");  // two in-memory stores coexist: nothing to lock
+  a.put("k", 1.0);
+  EXPECT_FALSE(b.contains("k"));
+}
+
+// ------------------------------------------------------- raw entry reading
+
+TEST(ReadStoreEntries, ReturnsRawBytesSkipsJunkLaterDuplicateWins) {
+  TempDir dir("read_entries");
+  const std::string path = dir.path() + "/store.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "key,accuracy\n"          // header: skipped
+        << "a/1,0.5\n"               // kept
+        << "not a row\n"             // malformed: skipped
+        << "b,with,commas/2,0.25\n"  // key itself has commas: kept
+        << "a/1,0.75\n"              // duplicate: later value wins, in place
+        << "torn/3,0.1";             // no newline: torn tail, skipped
+  }
+  const auto entries = read_store_entries(path);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "a/1");
+  EXPECT_EQ(entries[0].value, "0.75");  // raw bytes, exactly as written
+  EXPECT_EQ(entries[1].key, "b,with,commas/2");
+  EXPECT_EQ(entries[1].value, "0.25");
+  // Read-only: the torn tail is still on disk afterwards.
+  std::ifstream in(path, std::ios::binary);
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("torn/3,0.1"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".lock"));  // and lock-free
+}
+
+TEST(ReadStoreEntries, MissingFileReadsAsEmpty) {
+  EXPECT_TRUE(read_store_entries("/nonexistent/store.csv").empty());
+}
+
+TEST(ReadStoreEntries, RoundTripsResultStoreOutputBytes) {
+  TempDir dir("read_entries_roundtrip");
+  const std::string path = dir.path() + "/store.csv";
+  {
+    ResultStore store(path);
+    store.put("k/1", 197.0 / 300.0);
+  }
+  const auto entries = read_store_entries(path);
+  ASSERT_EQ(entries.size(), 1u);
+  char expected[32];
+  std::snprintf(expected, sizeof(expected), "%.17g", 197.0 / 300.0);
+  EXPECT_EQ(entries[0].value, expected);
 }
 
 // ------------------------------------------------------------ result store
@@ -66,10 +186,12 @@ TEST(ResultStore, ToleratesTornTrailingRow) {
     out << "torn/3,0.1";  // no newline; then truncate mid-value
   }
   std::filesystem::resize_file(path, std::filesystem::file_size(path) - 2);
-  ResultStore resumed(path);
-  EXPECT_EQ(resumed.size(), 2u);  // torn row skipped, good rows intact
-  EXPECT_TRUE(resumed.contains("good/1"));
-  EXPECT_FALSE(resumed.contains("torn/3"));
+  {
+    ResultStore resumed(path);
+    EXPECT_EQ(resumed.size(), 2u);  // torn row skipped, good rows intact
+    EXPECT_TRUE(resumed.contains("good/1"));
+    EXPECT_FALSE(resumed.contains("torn/3"));
+  }
 
   // Full-precision round trip: a repeating-decimal accuracy (k/300) must
   // come back bit-identical after resume.
@@ -123,20 +245,22 @@ TEST(ResultStore, PropertyResumesFromEveryTruncationOffset) {
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       out << content.substr(0, offset);
     }
-    ResultStore resumed(path);
-    EXPECT_EQ(resumed.size(), expected) << "offset " << offset;
-    std::size_t found = 0;
-    for (const auto& [key, value] : rows) {
-      const auto loaded = resumed.lookup(key);
-      if (!loaded.has_value()) continue;
-      ++found;
-      EXPECT_DOUBLE_EQ(*loaded, value) << key << " at offset " << offset;
-    }
-    EXPECT_EQ(found, expected) << "offset " << offset;  // no foreign rows
+    {
+      ResultStore resumed(path);
+      EXPECT_EQ(resumed.size(), expected) << "offset " << offset;
+      std::size_t found = 0;
+      for (const auto& [key, value] : rows) {
+        const auto loaded = resumed.lookup(key);
+        if (!loaded.has_value()) continue;
+        ++found;
+        EXPECT_DOUBLE_EQ(*loaded, value) << key << " at offset " << offset;
+      }
+      EXPECT_EQ(found, expected) << "offset " << offset;  // no foreign rows
 
-    // The torn tail was truncated away on load: appending now must not
-    // merge into it, and the appended entry must round-trip.
-    resumed.put("fresh/after/tear", 0.375);
+      // The torn tail was truncated away on load: appending now must not
+      // merge into it, and the appended entry must round-trip.
+      resumed.put("fresh/after/tear", 0.375);
+    }
     ResultStore reloaded(path);
     EXPECT_EQ(reloaded.size(), expected + 1) << "offset " << offset;
     ASSERT_TRUE(reloaded.lookup("fresh/after/tear").has_value());
@@ -181,7 +305,7 @@ TEST(ResultStore, OpenSweepsOrphanedTempFilesWithAWarning) {
   std::filesystem::create_directories(decoy_dir);  // not a regular file
 
   testing::internal::CaptureStderr();
-  ResultStore store(dir.path() + "/store.csv");
+  { ResultStore store(dir.path() + "/store.csv"); }
   const std::string warning = testing::internal::GetCapturedStderr();
 
   EXPECT_FALSE(std::filesystem::exists(orphan));

@@ -1,17 +1,31 @@
 // Shared GoogleTest helpers for the SafeLight suite.
 #pragma once
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace safelight {
 
 /// Unique temp directory per test to keep cache state (zoo models, result
-/// stores) isolated; removed again on destruction.
+/// stores) isolated; removed again on destruction. The pid suffix keeps
+/// concurrent ctest processes (ctest -j runs one process per test case)
+/// from clobbering each other when two cases use the same name — e.g. the
+/// dist suite's shared single-process reference directory.
 class TempDir {
  public:
   explicit TempDir(const std::string& name)
-      : path_("/tmp/safelight_test_" + name) {
+      : path_("/tmp/safelight_test_" + name + "_" +
+              std::to_string(::getpid())) {
     std::filesystem::remove_all(path_);
     std::filesystem::create_directories(path_);
   }
@@ -21,5 +35,97 @@ class TempDir {
  private:
   std::string path_;
 };
+
+inline std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Reaps `pid` with a deadline instead of blocking forever: polls
+/// waitpid(WNOHANG) and, past `timeout_s`, SIGKILLs the child, reaps it,
+/// and returns false. A hung child process turns into a test failure with
+/// a diagnosis, never into a hung test binary.
+inline bool wait_with_timeout(pid_t pid, double timeout_s, int* status) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (true) {
+    const pid_t reaped = ::waitpid(pid, status, WNOHANG);
+    if (reaped == pid) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, status, 0);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+struct ProcessResult {
+  int exit_code = -1;    // WEXITSTATUS when exited; -1 otherwise
+  int term_signal = 0;   // WTERMSIG when signalled
+  bool timed_out = false;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+/// Fork/execs `argv[0]` with `argv`, captures stdout/stderr to files under
+/// `capture_dir`, and waits at most `timeout_s` (SIGKILL + diagnostics on
+/// expiry — the captured output is returned either way). `extra_env` sets
+/// additional "KEY=value" entries in the child. When `kill_signal` is
+/// nonzero it is delivered to the child after `kill_after_s` seconds — the
+/// seam for signal-handling tests (SIGTERM -> graceful exit 130).
+inline ProcessResult run_process(const std::vector<std::string>& argv,
+                                 const std::vector<std::string>& extra_env,
+                                 const std::string& capture_dir,
+                                 double timeout_s, double kill_after_s = 0.0,
+                                 int kill_signal = 0) {
+  const std::string stdout_path =
+      capture_dir + "/proc_" + std::to_string(::getpid()) + ".stdout";
+  const std::string stderr_path =
+      capture_dir + "/proc_" + std::to_string(::getpid()) + ".stderr";
+
+  std::vector<std::string> args = argv;
+  std::vector<char*> child_argv;
+  child_argv.reserve(args.size() + 1);
+  for (std::string& arg : args) child_argv.push_back(arg.data());
+  child_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  ProcessResult result;
+  if (pid < 0) return result;
+  if (pid == 0) {
+    const int out = ::open(stdout_path.c_str(),
+                           O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    const int err = ::open(stderr_path.c_str(),
+                           O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (out >= 0) ::dup2(out, 1);
+    if (err >= 0) ::dup2(err, 2);
+    for (const std::string& entry : extra_env) {
+      const std::size_t eq = entry.find('=');
+      if (eq != std::string::npos) {
+        ::setenv(entry.substr(0, eq).c_str(), entry.substr(eq + 1).c_str(),
+                 1);
+      }
+    }
+    ::execv(child_argv[0], child_argv.data());
+    ::_exit(127);
+  }
+
+  if (kill_signal != 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(kill_after_s));
+    ::kill(pid, kill_signal);
+  }
+  int status = 0;
+  result.timed_out = !wait_with_timeout(pid, timeout_s, &status);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) result.term_signal = WTERMSIG(status);
+  result.stdout_text = read_file_bytes(stdout_path);
+  result.stderr_text = read_file_bytes(stderr_path);
+  return result;
+}
 
 }  // namespace safelight
