@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Performance report: microbench kernels + a timed fig7 sweep, as JSON.
+# Performance report: microbench kernels + timed fig7 sweeps, as JSON.
 #
 #   scripts/bench_report.sh [--smoke] [build-dir]
 #
-# Full mode (default) writes BENCH_pr2.json at the repo root — the perf
+# Full mode (default) writes BENCH_pr8.json at the repo root — the perf
 # trajectory data point for this PR:
 #   * GEMM GFLOP/s at 64/128/256 (packed kernel and naive reference, plus
 #     the packed/naive speedup ratio),
 #   * Conv2d forward time,
 #   * end-to-end fig7_susceptibility sweep wall-clock at default scale,
 #     cold scenario cache, with the prefix-activation cache ON and OFF
-#     (SAFELIGHT_PREFIX_CACHE) on a pre-trained zoo.
+#     (SAFELIGHT_PREFIX_CACHE) on a pre-trained zoo,
+#   * telemetry overhead: the same sweep through the `safelight` CLI,
+#     untraced vs armed with --trace/--metrics (warm zoo, fresh stores,
+#     interleaved best-of-3) — the observability layer's contract is <2%
+#     overhead and byte-identical CSV output, both recorded in the
+#     report.
 #
 # --smoke (used by scripts/check.sh and CI) runs the same pipeline at tiny
 # scale with minimal benchmark repetitions and writes the report into the
@@ -33,12 +38,17 @@ done
 
 MICROBENCH="$BUILD_DIR/bench/microbench"
 FIG7="$BUILD_DIR/bench/fig7_susceptibility"
+SAFELIGHT="$BUILD_DIR/src/safelight"
 if [[ ! -x "$MICROBENCH" ]]; then
   echo "bench_report: $MICROBENCH not built (Google Benchmark missing?)" >&2
   exit 1
 fi
 if [[ ! -x "$FIG7" ]]; then
   echo "bench_report: $FIG7 not built" >&2
+  exit 1
+fi
+if [[ ! -x "$SAFELIGHT" ]]; then
+  echo "bench_report: $SAFELIGHT not built" >&2
   exit 1
 fi
 command -v python3 >/dev/null || { echo "bench_report: python3 required" >&2; exit 1; }
@@ -57,7 +67,7 @@ else
   SCALE=default
   SEEDS=2
   BENCH_ARGS=()
-  OUT_JSON="BENCH_pr2.json"
+  OUT_JSON="BENCH_pr8.json"
 fi
 
 echo "== microbench (json) =="
@@ -86,11 +96,50 @@ SWEEP_CACHED="$(run_sweep 1)"
 SWEEP_UNCACHED="$(run_sweep 0)"
 echo "sweep wall-clock: ${SWEEP_CACHED}s (prefix cache on), ${SWEEP_UNCACHED}s (off)"
 
+echo "== telemetry overhead (traced vs untraced CLI sweep) =="
+run_cli_sweep() {  # $@ = extra CLI flags; prints wall seconds
+  rm -f "$SAFELIGHT_ZOO"/*.sweep.csv "$SAFELIGHT_ZOO"/*.sweep.jsonl
+  local start end
+  start=$(python3 -c 'import time; print(time.monotonic())')
+  "$SAFELIGHT" run susceptibility "$@" >"$WORK_DIR/cli_run.log"
+  end=$(python3 -c 'import time; print(time.monotonic())')
+  python3 -c "print(f'{$end - $start:.3f}')"
+}
+
+# Same warm zoo, fresh scenario stores each run; interleaved best-of-N so
+# one scheduler hiccup cannot fake (or mask) the <2% overhead contract —
+# the per-run spread on a small host exceeds the overhead being measured,
+# and the minimum is the estimator least sensitive to that noise.
+TELEMETRY_FLAGS=(--trace "$WORK_DIR/trace.json" --metrics "$WORK_DIR/metrics.json")
+REPS=3
+[[ "$SMOKE" == "1" ]] && REPS=2
+UNTRACED_RUNS=()
+TRACED_RUNS=()
+for (( i = 0; i < REPS; i++ )); do
+  UNTRACED_RUNS+=("$(run_cli_sweep)")
+  if [[ "$i" == "0" ]]; then
+    cp "$SAFELIGHT_OUT/fig7_susceptibility.csv" "$WORK_DIR/untraced.csv"
+  fi
+  TRACED_RUNS+=("$(run_cli_sweep "${TELEMETRY_FLAGS[@]}")")
+  if [[ "$i" == "0" ]]; then
+    cp "$SAFELIGHT_OUT/fig7_susceptibility.csv" "$WORK_DIR/traced.csv"
+  fi
+done
+CSV_IDENTICAL=false
+cmp -s "$WORK_DIR/untraced.csv" "$WORK_DIR/traced.csv" && CSV_IDENTICAL=true
+echo "untraced: ${UNTRACED_RUNS[*]}s  traced: ${TRACED_RUNS[*]}s  csv_identical=$CSV_IDENTICAL"
+
 python3 - "$WORK_DIR/micro.json" "$OUT_JSON" "$SCALE" "$SEEDS" \
-    "$SWEEP_CACHED" "$SWEEP_UNCACHED" <<'PY'
+    "$SWEEP_CACHED" "$SWEEP_UNCACHED" "${UNTRACED_RUNS[*]}" \
+    "${TRACED_RUNS[*]}" "$CSV_IDENTICAL" "$WORK_DIR/trace.json" \
+    "$WORK_DIR/metrics.json" <<'PY'
 import json, platform, subprocess, sys
 
 micro_path, out_path, scale, seeds, cached, uncached = sys.argv[1:7]
+untraced_runs = [float(v) for v in sys.argv[7].split()]
+traced_runs = [float(v) for v in sys.argv[8].split()]
+csv_identical = sys.argv[9] == "true"
+trace_path, metrics_path = sys.argv[10:12]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -111,10 +160,21 @@ def micros(name):
 def ratio(a, b):
     return round(a / b, 2) if a and b else None
 
+with open(trace_path) as f:
+    trace = json.load(f)
+span_count = sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+with open(metrics_path) as f:
+    metrics = json.load(f)
+gemm_hist = metrics["histograms"].get("gemm.gflops", {})
+
+untraced = min(untraced_runs)
+traced = min(traced_runs)
+overhead_pct = round((traced - untraced) / untraced * 100, 2)
+
 gemm = {n: gflops(f"BM_Gemm/{n}") for n in (64, 128, 256)}
 ref = {n: gflops(f"BM_GemmRef/{n}") for n in (64, 128, 256)}
 report = {
-    "pr": 2,
+    "pr": 8,
     "host": {
         "machine": platform.machine(),
         "cpus": micro.get("context", {}).get("num_cpus"),
@@ -133,6 +193,19 @@ report = {
         "wall_seconds_prefix_cache_on": float(cached),
         "wall_seconds_prefix_cache_off": float(uncached),
         "prefix_cache_speedup": ratio(float(uncached), float(cached)),
+    },
+    "telemetry": {
+        # Contract: <2% overhead, byte-identical CSV. min over interleaved
+        # repetitions; the per-run lists record the observed spread.
+        "wall_seconds_untraced": untraced,
+        "wall_seconds_traced": traced,
+        "untraced_runs": untraced_runs,
+        "traced_runs": traced_runs,
+        "overhead_pct": overhead_pct,
+        "csv_identical": csv_identical,
+        "trace_span_count": span_count,
+        "gemm_gflops_p50": gemm_hist.get("p50"),
+        "gemm_gflops_p99": gemm_hist.get("p99"),
     },
 }
 with open(out_path, "w") as f:

@@ -17,6 +17,10 @@
 #    pulls inside the workers) must emit bytes identical to a
 #    single-process run from a fresh zoo — the coordinator/worker/merge
 #    stack proves itself end to end on every CI run.
+# 6. telemetry smoke: the same 2-worker run armed with --trace/--metrics
+#    must stay byte-identical, produce a parseable merged Chrome trace
+#    with coordinator + worker tracks, and a schema-valid metrics JSON;
+#    both land in the CI artifact bundle.
 # Ends with a per-phase wall-time summary. CI uploads $SMOKE_DIR/out as
 # the experiment artifact bundle (see .github/workflows/ci.yml).
 #
@@ -172,6 +176,39 @@ cmp "$SMOKE_DIR/out_dist_ref/fig7_susceptibility.csv" \
 echo "distributed CSVs byte-identical to single-process reference"
 phase_end
 
+phase_start "telemetry smoke (2 workers, --trace/--metrics)"
+# Armed observability must never perturb experiment output: the traced
+# 2-worker run's CSV matches the single-process reference byte for byte,
+# and the merged fleet trace + metrics JSON parse with the expected shape.
+SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist_traced" SAFELIGHT_OUT="$SMOKE_DIR/out_dist_traced" \
+  "$SAFELIGHT" run susceptibility --model cnn1 --workers 2 \
+  --trace "$SMOKE_DIR/trace.json" --metrics "$SMOKE_DIR/metrics.json" \
+  >"$SMOKE_DIR/dist_traced.log"
+cmp "$SMOKE_DIR/out_dist_ref/fig7_susceptibility.csv" \
+    "$SMOKE_DIR/out_dist_traced/fig7_susceptibility.csv"
+echo "traced distributed CSV byte-identical to single-process reference"
+if command -v python3 >/dev/null; then
+  python3 - "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+tracks = {e["pid"]: e["args"]["name"]
+          for e in trace["traceEvents"] if e["ph"] == "M"}
+names = {e["name"] for e in spans}
+assert tracks.get(1) == "coordinator", tracks
+assert any(n.startswith("worker w") for p, n in tracks.items() if p >= 2), tracks
+assert {"dist.dispatch", "dist.merge", "worker.task"} <= names, sorted(names)
+metrics = json.load(open(sys.argv[2]))
+assert metrics["schema"] == "safelight.metrics.v1", metrics.get("schema")
+assert metrics["counters"]["dist.dispatches"] > 0, metrics["counters"]
+print(f"merged trace: {len(spans)} spans on {len(tracks)} tracks; "
+      f"{len(metrics['counters'])} fleet counters")
+EOF
+else
+  echo "python3 missing: trace/metrics JSON shape check skipped"
+fi
+phase_end
+
 # Preserve the artifact bundle for CI upload (the EXIT trap removes
 # $SMOKE_DIR; CI points SAFELIGHT_ARTIFACT_DIR somewhere persistent).
 if [[ -n "${SAFELIGHT_ARTIFACT_DIR:-}" ]]; then
@@ -182,6 +219,9 @@ if [[ -n "${SAFELIGHT_ARTIFACT_DIR:-}" ]]; then
   mkdir -p "$SAFELIGHT_ARTIFACT_DIR/dist_store"
   cp "$SMOKE_DIR/zoo_dist_chaos/"*.sweep.csv "$SAFELIGHT_ARTIFACT_DIR/dist_store/"
   cp "$SMOKE_DIR/dist.log" "$SMOKE_DIR/dist_chaos.log" "$SAFELIGHT_ARTIFACT_DIR/dist_store/"
+  # Merged fleet trace + metrics from the telemetry smoke: load trace.json
+  # in https://ui.perfetto.dev to inspect the CI run.
+  cp "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json" "$SAFELIGHT_ARTIFACT_DIR/"
 fi
 
 # Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with

@@ -16,7 +16,10 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "dist/coordinator.hpp"
@@ -56,6 +59,13 @@ constexpr const char* kUsage =
     "  --max-task-retries <N>    task failures tolerated before quarantine\n"
     "  --chaos <p>          arm fault injection inside the workers with\n"
     "                       per-write crash probability p (chaos testing)\n"
+    "\n"
+    "observability (docs/architecture.md \"Observability\"):\n"
+    "  --trace <file>       write a merged Chrome trace-event JSON of the\n"
+    "                       run (load in Perfetto / chrome://tracing);\n"
+    "                       with --workers N the worker spans merge in\n"
+    "  --metrics <file>     write the counters/gauges/histograms registry\n"
+    "                       as JSON; a summary table prints to stderr\n"
     "\n"
     "fault injection (crash-consistency testing, docs/testing.md):\n"
     "  --fault-mode <m>     none | independent | run_length | uniform\n"
@@ -194,6 +204,10 @@ CliOptions parse_flags(const std::vector<std::string>& args,
       overrides.fault_point = value();
     } else if (flag == "--fault-n") {
       overrides.fault_n = positive_int(flag, value());
+    } else if (flag == "--trace") {
+      overrides.trace_path = value();
+    } else if (flag == "--metrics") {
+      overrides.metrics_path = value();
     } else if (flag == "--json") {
       options.json = true;
     } else if (flag == "--verbose") {
@@ -207,6 +221,10 @@ CliOptions parse_flags(const std::vector<std::string>& args,
   // Arm (or disarm) fault injection from the now-complete flag > env >
   // default resolution; every durable write below this point is a ptp site.
   fault::init_from_config();
+  // Same precedence for the observability layer: every span/metric site
+  // below this point is live (or a single relaxed load when disarmed).
+  trace::init_from_config();
+  metrics::init_from_config();
   return options;
 }
 
@@ -470,18 +488,22 @@ int cmd_run(const std::vector<std::string>& experiments,
           const dist::DistStatus status = dist::run_distributed(
               name, spec, zoo, dist_options, dist_summary);
           if (status == dist::DistStatus::kQuarantined) {
-            std::fprintf(stderr,
-                         "[dist] %s/%s incomplete: %zu task(s) quarantined; "
-                         "skipping report assembly for this model\n",
-                         name.c_str(), nn::to_string(model).c_str(),
-                         dist_summary.quarantined.size());
+            log::error("dist",
+                       "%s/%s incomplete: %zu task(s) quarantined; "
+                       "skipping report assembly for this model",
+                       name.c_str(), nn::to_string(model).c_str(),
+                       dist_summary.quarantined.size());
             any_quarantine = true;
             continue;
           }
         }
       }
 
+      trace::Span run_span("experiment", name);
+      run_span.arg("model", nn::to_string(model))
+          .arg("scale", to_string(scale));
       const core::ExperimentResult result = registry.run(spec, context);
+      run_span.arg("wall_seconds", result.wall_seconds);
       experiment_seconds += result.wall_seconds;
       print_timing(result);
       std::visit([](const auto& report) { render(report); }, result.payload);
@@ -583,6 +605,12 @@ int cmd_worker(const std::vector<std::string>& args) {
   // Chaos runs arm the plug-pull harness via the SAFELIGHT_FAULT_* env the
   // coordinator set for this slot.
   fault::init_from_config();
+  // A traced coordinator injects SAFELIGHT_TRACE_PIPE/SAFELIGHT_METRICS_PIPE
+  // (never SAFELIGHT_TRACE/SAFELIGHT_METRICS — those are stripped so a
+  // worker can't clobber the output files): the worker buffers spans and
+  // metrics and ships them home over the event pipe.
+  trace::init_from_config();
+  metrics::init_from_config();
 
   dist::WorkerOptions worker;
   worker.zoo_dir = zoo_dir;
@@ -617,6 +645,20 @@ int run(const std::vector<std::string>& args) {
       if (fault::armed()) std::fprintf(stderr, "%s", fault::report().c_str());
     }
   } report_scope;
+  // Observability flush on every exit path (success, usage error,
+  // cancellation): a cancelled traced run still leaves a loadable partial
+  // trace. Workers arm in buffering mode (no output file), so both writes
+  // no-op there and the pipe stays the only telemetry channel.
+  struct TelemetryScope {
+    ~TelemetryScope() {
+      if (trace::has_output()) trace::flush();
+      if (metrics::has_output()) {
+        metrics::write_json();
+        const std::string table = metrics::summary();
+        if (!table.empty()) std::fprintf(stderr, "%s", table.c_str());
+      }
+    }
+  } telemetry_scope;
   try {
     if (args.empty() || args[0] == "help" || args[0] == "--help" ||
         args[0] == "-h") {
@@ -645,16 +687,16 @@ int run(const std::vector<std::string>& args) {
     fail_argument("unknown command '" + command +
                   "' (see 'safelight help')");
   } catch (const core::ExperimentCancelled& error) {
-    std::fprintf(stderr,
-                 "%s (completed scenarios stay cached; rerun the same "
-                 "command to resume)\n",
-                 error.what());
+    log::warn(nullptr,
+              "%s (completed scenarios stay cached; rerun the same "
+              "command to resume)",
+              error.what());
     return 130;  // 128 + SIGINT, the conventional interrupted-run code
   } catch (const std::invalid_argument& error) {
-    std::fprintf(stderr, "%s\n", error.what());
+    log::error(nullptr, "%s", error.what());
     return 2;
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "safelight: %s\n", error.what());
+    log::error(nullptr, "safelight: %s", error.what());
     return 1;
   }
 }

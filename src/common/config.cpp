@@ -180,4 +180,16 @@ std::size_t max_task_retries() {
   return static_cast<std::size_t>(v);
 }
 
+std::string trace_path() {
+  if (mutable_overrides().trace_path) return *mutable_overrides().trace_path;
+  return env_string("SAFELIGHT_TRACE", "");
+}
+
+std::string metrics_path() {
+  if (mutable_overrides().metrics_path) {
+    return *mutable_overrides().metrics_path;
+  }
+  return env_string("SAFELIGHT_METRICS", "");
+}
+
 }  // namespace safelight::config

@@ -31,6 +31,10 @@
 //                                        silence before it is declared hung
 //   max_task_retries()     SAFELIGHT_MAX_TASK_RETRIES   failures before a
 //                                        task is quarantined as poison
+//   trace_path()   SAFELIGHT_TRACE       Chrome trace-event output file
+//                                        (empty = tracing disarmed)
+//   metrics_path() SAFELIGHT_METRICS     metrics JSON output file
+//                                        (empty = metrics disarmed)
 #pragma once
 
 #include <cstddef>
@@ -57,6 +61,8 @@ struct Overrides {
   std::optional<std::size_t> workers;
   std::optional<double> heartbeat_timeout_s;
   std::optional<std::size_t> max_task_retries;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
 };
 
 /// Installs `overrides` as the process-wide CLI layer (replacing any
@@ -138,5 +144,13 @@ double heartbeat_timeout_s();
 /// Times a task may fail (worker crash or hang) before the coordinator
 /// quarantines it as poison: CLI > SAFELIGHT_MAX_TASK_RETRIES > 3.
 std::size_t max_task_retries();
+
+/// Chrome trace-event output file: CLI > SAFELIGHT_TRACE > "" (tracing
+/// disarmed). trace::init_from_config() consumes this.
+std::string trace_path();
+
+/// Metrics JSON output file: CLI > SAFELIGHT_METRICS > "" (metrics
+/// disarmed). metrics::init_from_config() consumes this.
+std::string metrics_path();
 
 }  // namespace safelight::config

@@ -362,6 +362,11 @@ const std::vector<JsonValue>& JsonValue::as_array() const {
   return array_;
 }
 
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (type_ != Type::kObject) type_mismatch("an object");
+  return object_;
+}
+
 bool JsonValue::has(const std::string& key) const {
   if (type_ != Type::kObject) type_mismatch("an object");
   return object_.count(key) > 0;

@@ -96,6 +96,9 @@ class JsonValue {
   std::uint64_t as_uint() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& as_array() const;
+  /// All object members, sorted by key (dynamic-key maps like metric names
+  /// decode through this; fixed-field messages use at()).
+  const std::map<std::string, JsonValue>& as_object() const;
 
   /// Object member lookup. at() throws std::invalid_argument when the key
   /// is absent (protocol messages treat missing fields as malformed).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace safelight {
 
@@ -23,13 +25,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Job::drain() {
+  // Span bookkeeping is manual (not RAII): one "pool.drain" span covers
+  // every chunk this thread executed of this job, and straggler drains
+  // that claim zero chunks must emit nothing.
+  const std::uint64_t span_start = trace::armed() ? trace::now_ns() : 0;
+  std::size_t executed = 0;
   for (;;) {
     std::size_t chunk;
     {
       const std::lock_guard<std::mutex> lock(mutex);
-      if (next >= chunks) return;
+      if (next >= chunks) break;
       chunk = next++;
     }
+    ++executed;
     try {
       (*fn)(chunk);
     } catch (...) {
@@ -38,6 +46,20 @@ void ThreadPool::Job::drain() {
     }
     const std::lock_guard<std::mutex> lock(mutex);
     if (++done == chunks) done_cv.notify_all();
+  }
+  if (executed == 0) return;
+  static metrics::Counter& drains = metrics::counter("pool.drains");
+  static metrics::Counter& chunks_run = metrics::counter("pool.chunks");
+  drains.add();
+  chunks_run.add(executed);
+  if (trace::armed()) {
+    trace::RawEvent event;
+    event.name = "pool.drain";
+    event.cat = "pool";
+    event.start_ns = span_start;
+    event.dur_ns = trace::now_ns() - span_start;
+    event.num_args.emplace_back("chunks", static_cast<double>(executed));
+    trace::record(std::move(event));
   }
 }
 

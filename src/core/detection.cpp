@@ -12,8 +12,10 @@
 
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "core/evaluation.hpp"
 #include "core/result_store.hpp"
 #include "nn/serialize.hpp"
@@ -329,9 +331,23 @@ DetectionReport detection_impl(const ExperimentSpec& experiment_spec,
                                   std::size_t lo, std::size_t hi) {
     for (std::size_t p = lo; p < hi; ++p) {
       const RunSpec& spec = runs[pending[p]];
+      static metrics::Counter& checks = metrics::counter("detect.checks");
+      checks.add();
+      trace::Span run_span("detect", "detect.run");
+      if (run_span.active()) {
+        run_span.arg("run", spec.id)
+            .arg("clean", static_cast<double>(spec.clean));
+      }
       const std::vector<defense::DetectionResult> results =
           evaluator.run(spec);
       for (const defense::DetectionResult& r : results) {
+        // Detection latency (probes until first flag) per detector; clean
+        // runs are excluded — a clean flag is a false positive, not a
+        // latency sample.
+        if (metrics::armed() && !spec.clean && r.flagged) {
+          metrics::histogram("detect.latency_probes." + r.detector)
+              .record(static_cast<double>(r.first_flag_probe));
+        }
         store.put(score_key(spec, r.detector), r.score);
         store.put(probes_key(spec, r.detector),
                   static_cast<double>(r.probes));

@@ -5,6 +5,7 @@
 
 #include "common/env.hpp"
 #include "common/fingerprint.hpp"
+#include "common/metrics.hpp"
 #include "nn/serialize.hpp"
 
 namespace safelight::core {
@@ -98,6 +99,9 @@ std::size_t AttackEvaluator::first_dirty_layer() const {
 const std::vector<nn::Tensor>& AttackEvaluator::prefix_for(std::size_t layer) {
   const auto it = prefix_cache_.find(layer);
   if (it != prefix_cache_.end()) return it->second;
+  static metrics::Counter& builds =
+      metrics::counter("prefix_cache.boundary_builds");
+  builds.add();
   // The model currently carries the attacked weights; the prefix must be
   // computed with the clean ones. Corrupted state is parked and restored
   // around the computation — a few tensor copies, once per boundary.
@@ -110,16 +114,20 @@ const std::vector<nn::Tensor>& AttackEvaluator::prefix_for(std::size_t layer) {
 }
 
 double AttackEvaluator::evaluate_attacked() {
+  static metrics::Counter& hits = metrics::counter("prefix_cache.hits");
+  static metrics::Counter& misses = metrics::counter("prefix_cache.misses");
   // A mutating read-out hook (ADC trojan) corrupts the outputs of *clean*
   // layers too, so cached clean activations would be wrong. Observing hooks
   // (range monitors, telemetry taps) never modify activations and keep the
   // cache valid — they just see only the layers after the resume boundary.
   if (!prefix_cache_enabled_ || executor_.has_mutating_readout_hook()) {
+    misses.add();
     return executor_.evaluate(model_, eval_data_, kEvalBatch);
   }
   const std::size_t dirty = first_dirty_layer();
   if (dirty == 0) {
     // Corruption starts at the first layer: nothing cacheable.
+    misses.add();
     return executor_.evaluate(model_, eval_data_, kEvalBatch);
   }
   if (prefix_cache_.find(dirty) == prefix_cache_.end()) {
@@ -133,11 +141,13 @@ double AttackEvaluator::evaluate_attacked() {
         (eval_data_.size() + kEvalBatch - 1) / kEvalBatch;
     const std::size_t boundary_floats = batches * nn::shape_numel(shape);
     if (prefix_floats_ + boundary_floats > kMaxPrefixFloats) {
+      misses.add();
       return executor_.evaluate(model_, eval_data_, kEvalBatch);
     }
     prefix_floats_ += boundary_floats;
   }
   ++prefix_hits_;
+  hits.add();
   return executor_.evaluate_from(model_, eval_data_, dirty, prefix_for(dirty),
                                  kEvalBatch);
 }

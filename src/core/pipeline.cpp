@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "core/experiment.hpp"
 #include "core/result_store.hpp"
 
@@ -48,6 +49,9 @@ SweepResult ScenarioPipeline::run(
     const VariantSpec& variant,
     const std::vector<attack::AttackScenario>& grid) {
   const auto start = std::chrono::steady_clock::now();
+  trace::Span sweep_span("pipeline", "pipeline.sweep");
+  sweep_span.arg("variant", variant.name)
+      .arg("grid", static_cast<double>(grid.size()));
 
   // Train (or load) on the calling thread so workers only ever load the
   // finished zoo entry — never race on training it.
@@ -110,6 +114,10 @@ SweepResult ScenarioPipeline::run(
         if (options_.cancel &&
             options_.cancel->load(std::memory_order_relaxed)) {
           throw ExperimentCancelled(setup_.tag());
+        }
+        trace::Span scenario_span("pipeline", "scenario.evaluate");
+        if (scenario_span.active()) {
+          scenario_span.arg("scenario", pending[i].id());
         }
         const double accuracy = evaluator.evaluate_scenario(pending[i]);
         store.put(pending_keys[i], accuracy);

@@ -13,6 +13,8 @@
 #include <stdexcept>
 
 #include "common/fault.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace safelight::core {
 
@@ -43,10 +45,10 @@ void sweep_orphaned_temp_files(const std::filesystem::path& directory) {
     std::error_code remove_ec;
     std::filesystem::remove(entry.path(), remove_ec);
     if (!remove_ec) {
-      std::fprintf(stderr,
-                   "[store] removed orphaned temp file %s (left by an "
-                   "interrupted writer)\n",
-                   entry.path().c_str());
+      log::warn("store",
+                "removed orphaned temp file %s (left by an "
+                "interrupted writer)",
+                entry.path().c_str());
     }
   }
 }
@@ -126,9 +128,8 @@ StoreWriterLock::StoreWriterLock(const std::string& store_path) {
           " (two concurrent writers on one cache directory? remove '" + path +
           "' only if that process is not a safelight writer)");
     }
-    std::fprintf(stderr,
-                 "[store] taking over stale lock %s (owner pid %ld is dead)\n",
-                 path.c_str(), owner);
+    log::warn("store", "taking over stale lock %s (owner pid %ld is dead)",
+              path.c_str(), owner);
     std::error_code ec;
     std::filesystem::remove(path, ec);
   }
@@ -219,8 +220,14 @@ ResultStore::ResultStore(std::string csv_path, std::string jsonl_path)
 }
 
 std::optional<double> ResultStore::lookup(const std::string& key) const {
+  static metrics::Counter& hits = metrics::counter("store.lookup_hits");
+  static metrics::Counter& misses = metrics::counter("store.lookup_misses");
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (auto it = entries_.find(key); it != entries_.end()) return it->second;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    hits.add();
+    return it->second;
+  }
+  misses.add();
   return std::nullopt;
 }
 
@@ -235,6 +242,8 @@ std::size_t ResultStore::size() const {
 }
 
 void ResultStore::put(const std::string& key, double value) {
+  static metrics::Counter& appends = metrics::counter("store.appends");
+  appends.add();
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_[key] = value;
   append_to_disk(key, value);
@@ -259,6 +268,8 @@ void ResultStore::append_to_disk(const std::string& key, double value) {
       out << format_value(value) << '\n';
       out.flush();
       fault::ptp("store.csv.flush");  // crash: row fully durable
+      static metrics::Counter& flushes = metrics::counter("store.flushes");
+      flushes.add();
     }
   }
   if (!jsonl_path_.empty()) {

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
+#include "common/trace.hpp"
 #include "nn/synthetic.hpp"
 
 namespace safelight::defense {
@@ -73,7 +74,15 @@ std::vector<DetectionResult> DetectorSuite::check_all(
     const DeploymentView& view) {
   std::vector<DetectionResult> results;
   results.reserve(detectors_.size());
-  for (auto& d : detectors_) results.push_back(d->check(view));
+  for (auto& d : detectors_) {
+    trace::Span span("detect", "detector.check");
+    if (span.active()) span.arg("detector", d->name());
+    results.push_back(d->check(view));
+    if (span.active()) {
+      span.arg("score", results.back().score)
+          .arg("probes", static_cast<double>(results.back().probes));
+    }
+  }
   return results;
 }
 

@@ -24,6 +24,9 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/zoo.hpp"
 #include "dist/plan.hpp"
 #include "dist/protocol.hpp"
@@ -95,6 +98,10 @@ struct TaskState {
   bool speculated = false;          // one work-stealing duplicate max
   bool completed = false;
   bool quarantined = false;
+  // Trace bookkeeping: the dispatch->done "dist.task" span crosses event-
+  // loop iterations, so its start is parked here (trace-armed runs only).
+  std::uint64_t dispatch_ns = 0;
+  int dispatch_slot = -1;
 };
 
 class Coordinator {
@@ -139,6 +146,17 @@ class Coordinator {
 
   DistStatus run() {
     const Clock::time_point start = Clock::now();
+    if (trace::armed()) {
+      // One merged fleet trace: the coordinator's own spans are pid 1, each
+      // worker slot gets a stable pid (respawns keep their predecessor's
+      // track — the slot, not the generation, is the unit of scheduling).
+      trace::set_track_name(1, "coordinator");
+      for (const WorkerSlot& slot : slots_) {
+        trace::set_track_name(
+            2 + static_cast<std::uint32_t>(slot.slot),
+            "worker w" + std::to_string(slot.slot));
+      }
+    }
     DistStatus status = DistStatus::kComplete;
     while (auto tasks = planner_.next_round(
                zoo_, {options_.workers, options_.chunk_size})) {
@@ -182,8 +200,18 @@ class Coordinator {
       const std::string value(*entry);
       if (value.rfind("SAFELIGHT_DIST_HEARTBEAT_INTERVAL=", 0) == 0) continue;
       if (chaos && value.rfind("SAFELIGHT_FAULT_", 0) == 0) continue;
+      // Telemetry knobs never pass through: a worker must not clobber the
+      // coordinator's output files. Buffering mode is injected below iff
+      // the matching subsystem is armed here — the spans/metrics then ship
+      // home over the pipe instead.
+      if (value.rfind("SAFELIGHT_TRACE=", 0) == 0) continue;
+      if (value.rfind("SAFELIGHT_METRICS=", 0) == 0) continue;
+      if (value.rfind("SAFELIGHT_TRACE_PIPE=", 0) == 0) continue;
+      if (value.rfind("SAFELIGHT_METRICS_PIPE=", 0) == 0) continue;
       env.push_back(value);
     }
+    if (trace::armed()) env.push_back("SAFELIGHT_TRACE_PIPE=1");
+    if (metrics::armed()) env.push_back("SAFELIGHT_METRICS_PIPE=1");
     const double interval =
         std::clamp(options_.heartbeat_timeout_s / 4.0, 0.02, 1.0);
     char buffer[64];
@@ -266,8 +294,8 @@ class Coordinator {
     slot.buffer.clear();
     slot.last_heard = Clock::now();
     if (options_.verbose) {
-      std::fprintf(stderr, "[dist] worker w%d generation %d spawned (pid %d)\n",
-                   slot.slot, slot.generation, static_cast<int>(pid));
+      log::info("dist", "worker w%d generation %d spawned (pid %d)",
+                slot.slot, slot.generation, static_cast<int>(pid));
     }
   }
 
@@ -308,12 +336,17 @@ class Coordinator {
     if (shutting_down_) return;
     if (hung) {
       ++summary_.hang_kills;
+      static metrics::Counter& hang_kills =
+          metrics::counter("dist.hang_kills");
+      hang_kills.add();
     } else {
       ++summary_.crashes;
+      static metrics::Counter& crashes = metrics::counter("dist.crashes");
+      crashes.add();
     }
     if (options_.verbose || hung) {
-      std::fprintf(stderr, "[dist] worker w%d (pid %d) died: %s\n", slot.slot,
-                   static_cast<int>(slot.pid), error.c_str());
+      log::warn("dist", "worker w%d (pid %d) died: %s", slot.slot,
+                static_cast<int>(slot.pid), error.c_str());
     }
     if (!task_id) return;
     TaskState& state = tasks_.at(*task_id);
@@ -341,11 +374,11 @@ class Coordinator {
       if (!slot.alive) continue;
       const double silence = seconds_between(slot.last_heard, now);
       if (silence <= options_.heartbeat_timeout_s) continue;
-      std::fprintf(stderr,
-                   "[dist] worker w%d (pid %d) silent for %.1fs "
-                   "(timeout %.1fs); killing\n",
-                   slot.slot, static_cast<int>(slot.pid), silence,
-                   options_.heartbeat_timeout_s);
+      log::warn("dist",
+                "worker w%d (pid %d) silent for %.1fs "
+                "(timeout %.1fs); killing",
+                slot.slot, static_cast<int>(slot.pid), silence,
+                options_.heartbeat_timeout_s);
       ::kill(slot.pid, SIGKILL);  // works on SIGSTOPped processes too
       int status = 0;
       ::waitpid(slot.pid, &status, 0);
@@ -374,6 +407,19 @@ class Coordinator {
       return;
     }
     ++summary_.retries;
+    static metrics::Counter& retries = metrics::counter("dist.retries");
+    retries.add();
+    if (trace::armed()) {
+      trace::RawEvent event;
+      event.name = "dist.retry";
+      event.cat = "dist";
+      event.start_ns = trace::now_ns();
+      event.num_args.emplace_back("task",
+                                  static_cast<double>(state.task.id));
+      event.num_args.emplace_back("failures",
+                                  static_cast<double>(state.failures));
+      trace::record(std::move(event));
+    }
     const double delay =
         std::min(options_.retry_cap_s,
                  options_.retry_base_s *
@@ -383,11 +429,9 @@ class Coordinator {
                            std::chrono::duration<double>(delay));
     pending_.push_back(state.task.id);
     if (options_.verbose) {
-      std::fprintf(stderr,
-                   "[dist] task %llu requeued (failure %zu, backoff %.2fs): "
-                   "%s\n",
-                   static_cast<unsigned long long>(state.task.id),
-                   state.failures, delay, error.c_str());
+      log::info("dist", "task %llu requeued (failure %zu, backoff %.2fs): %s",
+                static_cast<unsigned long long>(state.task.id),
+                state.failures, delay, error.c_str());
     }
   }
 
@@ -408,12 +452,12 @@ class Coordinator {
       if (!joined.empty()) joined += ", ";
       joined += id;
     }
-    std::fprintf(stderr,
-                 "[dist] QUARANTINED task %llu (variant %s): %s after %zu "
-                 "failures (last error: %s)\n",
-                 static_cast<unsigned long long>(record.id),
-                 record.variant.c_str(), joined.c_str(), record.failures,
-                 record.last_error.c_str());
+    log::error("dist",
+               "QUARANTINED task %llu (variant %s): %s after %zu "
+               "failures (last error: %s)",
+               static_cast<unsigned long long>(record.id),
+               record.variant.c_str(), joined.c_str(), record.failures,
+               record.last_error.c_str());
     summary_.quarantined.push_back(std::move(record));
   }
 
@@ -476,13 +520,41 @@ class Coordinator {
         continue;
       }
       ++state.assigned;
+      static metrics::Counter& dispatches =
+          metrics::counter("dist.dispatches");
+      dispatches.add();
+      if (trace::armed()) {
+        state.dispatch_ns = trace::now_ns();
+        state.dispatch_slot = slot.slot;
+        trace::RawEvent event;
+        event.name = "dist.dispatch";
+        event.cat = "dist";
+        event.start_ns = state.dispatch_ns;
+        event.num_args.emplace_back("task",
+                                    static_cast<double>(state.task.id));
+        event.num_args.emplace_back("worker",
+                                    static_cast<double>(slot.slot));
+        trace::record(std::move(event));
+      }
       if (speculative) {
         state.speculated = true;
         ++summary_.steals;
+        static metrics::Counter& steals = metrics::counter("dist.steals");
+        steals.add();
+        if (trace::armed()) {
+          trace::RawEvent event;
+          event.name = "dist.steal";
+          event.cat = "dist";
+          event.start_ns = trace::now_ns();
+          event.num_args.emplace_back("task",
+                                      static_cast<double>(state.task.id));
+          event.num_args.emplace_back("worker",
+                                      static_cast<double>(slot.slot));
+          trace::record(std::move(event));
+        }
         if (options_.verbose) {
-          std::fprintf(stderr,
-                       "[dist] task %llu speculatively duplicated on w%d\n",
-                       static_cast<unsigned long long>(*chosen), slot.slot);
+          log::info("dist", "task %llu speculatively duplicated on w%d",
+                    static_cast<unsigned long long>(*chosen), slot.slot);
         }
       }
       slot.current_task = *chosen;
@@ -501,6 +573,25 @@ class Coordinator {
     state.completed = true;
     ++summary_.completed;
     ++round_finished_;
+    static metrics::Counter& completed =
+        metrics::counter("dist.tasks_completed");
+    completed.add();
+    if (trace::armed() && state.dispatch_ns != 0) {
+      trace::RawEvent span;
+      span.name = "dist.task";
+      span.cat = "dist";
+      span.start_ns = state.dispatch_ns;
+      span.dur_ns = trace::now_ns() - state.dispatch_ns;
+      span.num_args.emplace_back("task",
+                                 static_cast<double>(state.task.id));
+      span.num_args.emplace_back("worker",
+                                 static_cast<double>(state.dispatch_slot));
+      span.num_args.emplace_back("evaluated",
+                                 static_cast<double>(event.evaluated));
+      span.num_args.emplace_back("cached",
+                                 static_cast<double>(event.cached));
+      trace::record(std::move(span));
+    }
   }
 
   void on_fatal(WorkerSlot& slot, const EventMessage& event) {
@@ -526,10 +617,8 @@ class Coordinator {
       try {
         event = decode_event(line);
       } catch (const std::exception& error) {
-        std::fprintf(stderr,
-                     "[dist] worker w%d sent an undecodable line (%s); "
-                     "ignored\n",
-                     slot.slot, error.what());
+        log::warn("dist", "worker w%d sent an undecodable line (%s); ignored",
+                  slot.slot, error.what());
         continue;
       }
       switch (event.type) {
@@ -541,6 +630,15 @@ class Coordinator {
           break;
         case EventMessage::Type::kFatal:
           on_fatal(slot, event);
+          break;
+        case EventMessage::Type::kTrace:
+          // Worker spans land under the slot's stable pid: one merged
+          // fleet trace, one track per worker slot.
+          trace::ingest(2 + static_cast<std::uint32_t>(slot.slot),
+                        std::move(event.spans));
+          break;
+        case EventMessage::Type::kMetrics:
+          metrics::ingest(event.metrics);
           break;
       }
       if (!slot.alive) return;  // handler tore the slot down
@@ -623,6 +721,12 @@ class Coordinator {
   }
 
   void merge_round(const std::vector<std::string>& stems) {
+    trace::Span merge_span("dist", "dist.merge");
+    merge_span.arg("stems", static_cast<double>(stems.size()));
+    static metrics::Counter& merged_rows =
+        metrics::counter("dist.merged_rows");
+    static metrics::Counter& merge_duplicates =
+        metrics::counter("dist.merge_duplicates");
     for (const std::string& stem : stems) {
       std::vector<std::string> sources;
       for (const WorkerSlot& slot : slots_) {
@@ -632,6 +736,8 @@ class Coordinator {
           merge_stores(sources, spec_.cache_dir + "/" + stem + ".sweep.csv");
       summary_.merged_rows += stats.appended;
       summary_.merge_duplicates += stats.duplicates;
+      merged_rows.add(stats.appended);
+      merge_duplicates.add(stats.duplicates);
     }
   }
 
@@ -646,6 +752,38 @@ class Coordinator {
       ::close(slot.task_fd);
       slot.task_fd = -1;
     }
+    // Keep reading event pipes until EOF: workers flush their final
+    // telemetry (trailing span buffer, one metrics snapshot) between the
+    // shutdown command and exit, and a payload larger than the pipe buffer
+    // would deadlock a worker against a coordinator that only waitpid()s.
+    const auto drain_until = [&](Clock::time_point deadline) {
+      while (Clock::now() < deadline) {
+        std::vector<struct pollfd> fds;
+        std::vector<WorkerSlot*> owners;
+        for (WorkerSlot& slot : slots_) {
+          if (!slot.alive) continue;
+          fds.push_back({slot.event_fd, POLLIN, 0});
+          owners.push_back(&slot);
+        }
+        if (fds.empty()) return true;
+        if (::poll(fds.data(), fds.size(), 50) <= 0) continue;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+          WorkerSlot& slot = *owners[i];
+          char chunk[4096];
+          const ssize_t bytes = ::read(slot.event_fd, chunk, sizeof chunk);
+          if (bytes > 0) {
+            slot.buffer.append(chunk, static_cast<std::size_t>(bytes));
+            process_lines(slot);
+          } else if (bytes == 0) {
+            int status = 0;
+            ::waitpid(slot.pid, &status, 0);
+            close_slot(slot);
+          }
+        }
+      }
+      return false;
+    };
     const auto reap_until = [&](Clock::time_point deadline) {
       while (Clock::now() < deadline) {
         bool any_alive = false;
@@ -663,7 +801,7 @@ class Coordinator {
       }
       return false;
     };
-    if (!reap_until(Clock::now() + std::chrono::seconds(5))) {
+    if (!drain_until(Clock::now() + std::chrono::seconds(5))) {
       for (WorkerSlot& slot : slots_) {
         if (slot.alive) ::kill(slot.pid, SIGTERM);
       }

@@ -11,20 +11,20 @@ namespace safelight::dist {
 namespace {
 
 /// %.17g: enough significant digits that strtod returns the identical
-/// double, making the scenario id (and thus the store key) reproduce
-/// exactly on the worker side.
-std::string fraction_to_wire(double fraction) {
+/// double — scenario fractions reproduce the store key bit for bit, and
+/// telemetry values (span args, metric sums) survive the pipe unchanged.
+std::string double_to_wire(double value) {
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", fraction);
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
 }
 
-double fraction_from_wire(const std::string& text) {
+double double_from_wire(const std::string& text) {
   const char* begin = text.c_str();
   char* end = nullptr;
   const double value = std::strtod(begin, &end);
   require(end != begin && *end == '\0',
-          "dist protocol: malformed fraction '" + text + "'");
+          "dist protocol: malformed number '" + text + "'");
   return value;
 }
 
@@ -33,9 +33,104 @@ const char* event_type_name(EventMessage::Type type) {
     case EventMessage::Type::kHello: return "hello";
     case EventMessage::Type::kHeartbeat: return "heartbeat";
     case EventMessage::Type::kDone: return "done";
+    case EventMessage::Type::kTrace: return "trace";
+    case EventMessage::Type::kMetrics: return "metrics";
     case EventMessage::Type::kFatal: break;
   }
   return "fatal";
+}
+
+void encode_span(JsonWriter& json, const trace::RawEvent& span) {
+  json.begin_object();
+  json.key("name").value(span.name);
+  json.key("cat").value(span.cat);
+  json.key("start_ns").value(static_cast<std::uint64_t>(span.start_ns));
+  json.key("dur_ns").value(static_cast<std::uint64_t>(span.dur_ns));
+  json.key("tid").value(static_cast<std::uint64_t>(span.tid));
+  json.key("num").begin_object();
+  for (const auto& [key, value] : span.num_args) {
+    json.key(key).value(double_to_wire(value));
+  }
+  json.end_object();
+  json.key("str").begin_object();
+  for (const auto& [key, value] : span.str_args) {
+    json.key(key).value(value);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+trace::RawEvent decode_span(const JsonValue& doc) {
+  trace::RawEvent span;
+  span.name = doc.at("name").as_string();
+  span.cat = doc.at("cat").as_string();
+  span.start_ns = doc.at("start_ns").as_uint();
+  span.dur_ns = doc.at("dur_ns").as_uint();
+  span.tid = static_cast<std::uint32_t>(doc.at("tid").as_uint());
+  for (const auto& [key, value] : doc.at("num").as_object()) {
+    span.num_args.emplace_back(key, double_from_wire(value.as_string()));
+  }
+  for (const auto& [key, value] : doc.at("str").as_object()) {
+    span.str_args.emplace_back(key, value.as_string());
+  }
+  return span;
+}
+
+void encode_metrics(JsonWriter& json, const metrics::Snapshot& snapshot) {
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.key(name).value(double_to_wire(value));
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    json.key(name).begin_object();
+    json.key("count").value(histogram.count);
+    json.key("sum").value(double_to_wire(histogram.sum));
+    json.key("min").value(double_to_wire(histogram.min));
+    json.key("max").value(double_to_wire(histogram.max));
+    // Sparse buckets keyed by index: this is what makes the snapshot
+    // mergeable on the coordinator (bucket counts just add).
+    json.key("buckets").begin_object();
+    for (const auto& [index, count] : histogram.buckets) {
+      json.key(std::to_string(index)).value(count);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_object();
+}
+
+metrics::Snapshot decode_metrics(const JsonValue& doc) {
+  metrics::Snapshot snapshot;
+  for (const auto& [name, value] : doc.at("counters").as_object()) {
+    snapshot.counters.emplace(name, value.as_uint());
+  }
+  for (const auto& [name, value] : doc.at("gauges").as_object()) {
+    snapshot.gauges.emplace(name, double_from_wire(value.as_string()));
+  }
+  for (const auto& [name, entry] : doc.at("histograms").as_object()) {
+    metrics::HistogramSnapshot histogram;
+    histogram.count = entry.at("count").as_uint();
+    histogram.sum = double_from_wire(entry.at("sum").as_string());
+    histogram.min = double_from_wire(entry.at("min").as_string());
+    histogram.max = double_from_wire(entry.at("max").as_string());
+    for (const auto& [index, count] : entry.at("buckets").as_object()) {
+      char* end = nullptr;
+      const long bucket = std::strtol(index.c_str(), &end, 10);
+      require(end != index.c_str() && *end == '\0' && bucket >= 0 &&
+                  bucket < metrics::kTotalBuckets,
+              "dist protocol: malformed histogram bucket '" + index + "'");
+      histogram.buckets.emplace(static_cast<int>(bucket), count.as_uint());
+    }
+    snapshot.histograms.emplace(name, std::move(histogram));
+  }
+  return snapshot;
 }
 
 }  // namespace
@@ -48,7 +143,7 @@ std::string encode_task(const TaskMessage& task) {
   json.key("model").value(task.model);
   json.key("scale").value(task.scale);
   json.key("variant").value(task.variant);
-  json.key("l2").value(fraction_to_wire(task.l2_strength));
+  json.key("l2").value(double_to_wire(task.l2_strength));
   json.key("store_stem").value(task.store_stem);
   json.key("fingerprint").value(task.fingerprint);
   json.key("baseline").value(task.baseline);
@@ -57,7 +152,7 @@ std::string encode_task(const TaskMessage& task) {
     json.begin_object();
     json.key("vector").value(attack::to_string(scenario.vector));
     json.key("target").value(attack::to_string(scenario.target));
-    json.key("fraction").value(fraction_to_wire(scenario.fraction));
+    json.key("fraction").value(double_to_wire(scenario.fraction));
     json.key("seed").value(static_cast<std::uint64_t>(scenario.seed));
     json.end_object();
   }
@@ -88,7 +183,7 @@ TaskMessage decode_task(const std::string& line) {
   task.model = doc.at("model").as_string();
   task.scale = doc.at("scale").as_string();
   task.variant = doc.at("variant").as_string();
-  task.l2_strength = fraction_from_wire(doc.at("l2").as_string());
+  task.l2_strength = double_from_wire(doc.at("l2").as_string());
   task.store_stem = doc.at("store_stem").as_string();
   task.fingerprint = doc.at("fingerprint").as_string();
   task.baseline = doc.at("baseline").as_bool();
@@ -98,7 +193,7 @@ TaskMessage decode_task(const std::string& line) {
         attack::vector_from_string(entry.at("vector").as_string());
     scenario.target =
         attack::target_from_string(entry.at("target").as_string());
-    scenario.fraction = fraction_from_wire(entry.at("fraction").as_string());
+    scenario.fraction = double_from_wire(entry.at("fraction").as_string());
     scenario.seed = entry.at("seed").as_uint();
     scenario.validate();
     task.scenarios.push_back(scenario);
@@ -125,6 +220,16 @@ std::string encode_event(const EventMessage& event) {
       json.key("id").value(event.task_id);
       json.key("message").value(event.message);
       break;
+    case EventMessage::Type::kTrace:
+      json.key("spans").begin_array();
+      for (const trace::RawEvent& span : event.spans) {
+        encode_span(json, span);
+      }
+      json.end_array();
+      break;
+    case EventMessage::Type::kMetrics:
+      encode_metrics(json, event.metrics);
+      break;
   }
   json.end_object();
   return std::move(json).str();
@@ -148,6 +253,14 @@ EventMessage decode_event(const std::string& line) {
     event.type = EventMessage::Type::kFatal;
     event.task_id = doc.at("id").as_uint();
     event.message = doc.at("message").as_string();
+  } else if (type == "trace") {
+    event.type = EventMessage::Type::kTrace;
+    for (const JsonValue& entry : doc.at("spans").as_array()) {
+      event.spans.push_back(decode_span(entry));
+    }
+  } else if (type == "metrics") {
+    event.type = EventMessage::Type::kMetrics;
+    event.metrics = decode_metrics(doc);
   } else {
     fail_argument("dist protocol: unknown event type '" + type + "'");
   }

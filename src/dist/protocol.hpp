@@ -22,6 +22,15 @@
 //   {"type":"heartbeat"}
 //   {"type":"done","id":N,"evaluated":K,"cached":M}
 //   {"type":"fatal","id":N,"message":"..."}
+//   {"type":"trace","spans":[{"name":"...","cat":"...","start_ns":N,
+//    "dur_ns":N,"tid":N,"num":{...},"str":{...}}, ...]}
+//   {"type":"metrics","counters":{...},"gauges":{...},"histograms":{...}}
+//
+// Telemetry events exist so an armed coordinator can merge the whole
+// fleet's observability into one Chrome trace / one metrics registry: a
+// worker in SAFELIGHT_TRACE_PIPE buffering mode drains its span buffer
+// after every task (and at shutdown), and ships one metrics snapshot right
+// before exiting. Doubles ride as %.17g strings, same as fractions.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,8 @@
 #include <vector>
 
 #include "attacks/scenario.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace safelight::dist {
 
@@ -53,13 +64,15 @@ struct TaskMessage {
 
 /// Worker -> coordinator event.
 struct EventMessage {
-  enum class Type { kHello, kHeartbeat, kDone, kFatal };
+  enum class Type { kHello, kHeartbeat, kDone, kFatal, kTrace, kMetrics };
   Type type = Type::kHeartbeat;
   std::uint64_t pid = 0;        // kHello
   std::uint64_t task_id = 0;    // kDone / kFatal
   std::uint64_t evaluated = 0;  // kDone: scenarios computed fresh
   std::uint64_t cached = 0;     // kDone: already present in the worker store
   std::string message;          // kFatal: exception text
+  std::vector<trace::RawEvent> spans;  // kTrace: drained span buffer
+  metrics::Snapshot metrics;           // kMetrics: worker registry snapshot
 };
 
 /// Encoders return one complete line including the trailing '\n'.

@@ -18,6 +18,8 @@
 
 #include "attacks/corruption.hpp"
 #include "common/config.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/evaluation.hpp"
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
@@ -84,6 +86,15 @@ class HeartbeatThread {
     std::unique_lock<std::mutex> lock(mutex_);
     while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) {
       lock.unlock();
+      if (trace::armed()) {
+        // Instant marker on this worker's track: the merged fleet trace
+        // shows exactly when each worker last proved liveness.
+        trace::RawEvent event;
+        event.name = "dist.heartbeat";
+        event.cat = "dist";
+        event.start_ns = trace::now_ns();
+        trace::record(std::move(event));
+      }
       EventMessage beat;
       beat.type = EventMessage::Type::kHeartbeat;
       writer_.send(beat);
@@ -248,6 +259,16 @@ void run_task(const TaskMessage& task, StemState& state, const Seams& seams,
   }
 }
 
+/// Ships every span buffered since the last call. Sent after each task
+/// (so a later crash loses at most one task's spans) and at shutdown.
+void ship_trace(ProtocolWriter& writer) {
+  if (!trace::armed()) return;
+  EventMessage event;
+  event.type = EventMessage::Type::kTrace;
+  event.spans = trace::drain();
+  if (!event.spans.empty()) writer.send(event);
+}
+
 }  // namespace
 
 int run_worker(const WorkerOptions& options) {
@@ -274,7 +295,13 @@ int run_worker(const WorkerOptions& options) {
     try {
       StemState& state =
           state_for(stems, zoo, options.store_dir, task);
-      run_task(task, state, seams, options.cancel, done);
+      {
+        trace::Span task_span("dist", "worker.task");
+        task_span.arg("task", static_cast<double>(task.id));
+        run_task(task, state, seams, options.cancel, done);
+        task_span.arg("evaluated", static_cast<double>(done.evaluated))
+            .arg("cached", static_cast<double>(done.cached));
+      }
       writer.send(done);
     } catch (const core::ExperimentCancelled&) {
       throw;  // CLI maps this to exit 130 like the in-process path
@@ -285,6 +312,18 @@ int run_worker(const WorkerOptions& options) {
       fatal.message = error.what();
       writer.send(fatal);
     }
+    ship_trace(writer);
+  }
+  // Final telemetry, after the shutdown command: the trailing span buffer
+  // (heartbeats since the last task) and one metrics snapshot — counters
+  // and histogram buckets merge additively on the coordinator, so exactly
+  // one snapshot per worker lifetime keeps the fleet totals honest.
+  ship_trace(writer);
+  if (metrics::armed()) {
+    EventMessage event;
+    event.type = EventMessage::Type::kMetrics;
+    event.metrics = metrics::snapshot();
+    writer.send(event);
   }
   return 0;
 }

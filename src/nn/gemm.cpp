@@ -2,12 +2,80 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/scratch.hpp"
+#include "common/trace.hpp"
 
 namespace safelight::nn {
 
 namespace {
+
+// The reduced-scale sweeps issue millions of sub-microsecond GEMMs: even
+// two armed clock reads per call would eat the <2% traced-run overhead
+// contract. So every call bumps the call/FLOP counters (relaxed atomics),
+// but the GFLOP/s histogram meters only kernels above kMeterFlopThreshold
+// (where the clock granularity yields a meaningful rate) and spans are
+// emitted only above kSpanFlopThreshold (where a slice is visible in
+// Perfetto rather than trace spam).
+constexpr double kMeterFlopThreshold = 1 << 15;
+constexpr double kSpanFlopThreshold = 1 << 20;
+
+/// Observability wrapper around one GEMM entry point. Disarmed cost: two
+/// relaxed loads.
+class GemmScope {
+ public:
+  GemmScope(const char* name, std::size_t m, std::size_t k, std::size_t n)
+      : name_(name),
+        m_(m),
+        k_(k),
+        n_(n),
+        flops_(2.0 * static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n)) {
+    if (metrics::armed()) {
+      static metrics::Counter& calls = metrics::counter("gemm.calls");
+      static metrics::Counter& flops = metrics::counter("gemm.flops");
+      calls.add();
+      flops.add(static_cast<std::uint64_t>(flops_));
+    }
+    // Clock only when someone can consume the timing: the histogram above
+    // kMeterFlopThreshold (metrics armed), or a span above the larger
+    // kSpanFlopThreshold (trace armed). Trace-only runs skip the clock on
+    // the long tail of kernels too small to emit a span.
+    metered_ = (metrics::armed() && flops_ >= kMeterFlopThreshold) ||
+               (trace::armed() && flops_ >= kSpanFlopThreshold);
+    if (metered_) start_ns_ = trace::now_ns();
+  }
+  ~GemmScope() {
+    if (!metered_) return;
+    const std::uint64_t end_ns = trace::now_ns();
+    const double seconds = static_cast<double>(end_ns - start_ns_) / 1e9;
+    const double gflops = seconds > 0.0 ? flops_ / seconds / 1e9 : 0.0;
+    static metrics::Histogram& rate = metrics::histogram("gemm.gflops");
+    rate.record(gflops);
+    if (trace::armed() && flops_ >= kSpanFlopThreshold) {
+      trace::RawEvent event;
+      event.name = name_;
+      event.cat = "gemm";
+      event.start_ns = start_ns_;
+      event.dur_ns = end_ns - start_ns_;
+      event.num_args.emplace_back("m", static_cast<double>(m_));
+      event.num_args.emplace_back("k", static_cast<double>(k_));
+      event.num_args.emplace_back("n", static_cast<double>(n_));
+      event.num_args.emplace_back("gflops", gflops);
+      trace::record(std::move(event));
+    }
+  }
+  GemmScope(const GemmScope&) = delete;
+  GemmScope& operator=(const GemmScope&) = delete;
+
+ private:
+  const char* name_;
+  std::size_t m_, k_, n_;
+  double flops_;
+  bool metered_ = false;
+  std::uint64_t start_ns_ = 0;
+};
 
 // Register tile: kMr rows x kNr columns of C accumulated in registers
 // (kNr floats = 2 x 512-bit or 4 x 256-bit vectors per row). Larger tiles
@@ -162,6 +230,7 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool accumulate,
           const float* row_bias) {
   if (m == 0 || n == 0) return;
+  const GemmScope scope("gemm", m, k, n);
   ScratchArena& arena = ScratchArena::local();
   const ScratchArena::Frame frame(arena);
   float* packed = arena.alloc(ceil_div(n, kNr) * kNr * k);
@@ -174,6 +243,7 @@ void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate,
              const float* col_bias) {
   if (m == 0 || n == 0) return;
+  const GemmScope scope("gemm_bt", m, k, n);
   ScratchArena& arena = ScratchArena::local();
   const ScratchArena::Frame frame(arena);
   float* packed = arena.alloc(ceil_div(n, kNr) * kNr * k);
@@ -185,6 +255,7 @@ void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
 void gemm_at(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate) {
   if (m == 0 || n == 0) return;
+  const GemmScope scope("gemm_at", m, k, n);
   ScratchArena& arena = ScratchArena::local();
   const ScratchArena::Frame frame(arena);
   float* packed = arena.alloc(ceil_div(n, kNr) * kNr * k);

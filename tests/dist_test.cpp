@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -26,6 +27,9 @@
 
 #include "attacks/scenario.hpp"
 #include "common/fault.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/result_store.hpp"
 #include "dist/protocol.hpp"
 #include "dist/store_merge.hpp"
@@ -104,6 +108,69 @@ TEST(DistProtocol, EventsRoundTrip) {
   EXPECT_EQ(fatal2.type, EventMessage::Type::kFatal);
   EXPECT_EQ(fatal2.task_id, 9u);
   EXPECT_EQ(fatal2.message, fatal.message);  // newline survives as \n escape
+}
+
+TEST(DistProtocol, TelemetryEventsRoundTrip) {
+  // Spans ship with absolute nanosecond timestamps and typed args; doubles
+  // ride as %.17g strings, so even decimal-inexact values survive exactly.
+  EventMessage shipped;
+  shipped.type = EventMessage::Type::kTrace;
+  trace::RawEvent span;
+  span.name = "worker.task";
+  span.cat = "dist";
+  span.start_ns = 123456789012345ull;
+  span.dur_ns = 987654321ull;
+  span.tid = 3;
+  span.num_args.emplace_back("gflops", 0.1 + 0.2);  // 0.30000000000000004
+  span.str_args.emplace_back("variant", "l2+n3");
+  shipped.spans.push_back(span);
+  const EventMessage t2 = dist::decode_event(dist::encode_event(shipped));
+  ASSERT_EQ(t2.type, EventMessage::Type::kTrace);
+  ASSERT_EQ(t2.spans.size(), 1u);
+  EXPECT_EQ(t2.spans[0].name, span.name);
+  EXPECT_EQ(t2.spans[0].cat, span.cat);
+  EXPECT_EQ(t2.spans[0].start_ns, span.start_ns);
+  EXPECT_EQ(t2.spans[0].dur_ns, span.dur_ns);
+  EXPECT_EQ(t2.spans[0].tid, span.tid);
+  ASSERT_EQ(t2.spans[0].num_args.size(), 1u);
+  EXPECT_EQ(t2.spans[0].num_args[0].first, "gflops");
+  EXPECT_EQ(t2.spans[0].num_args[0].second, 0.1 + 0.2);  // exact equality
+  ASSERT_EQ(t2.spans[0].str_args.size(), 1u);
+  EXPECT_EQ(t2.spans[0].str_args[0].second, "l2+n3");
+
+  // Metrics snapshots carry sparse histogram buckets so the coordinator
+  // can merge them additively.
+  EventMessage registry;
+  registry.type = EventMessage::Type::kMetrics;
+  registry.metrics.counters["gemm.calls"] = 11298;
+  registry.metrics.gauges["pool.threads"] = 4.0;
+  metrics::HistogramSnapshot hist;
+  hist.count = 3;
+  hist.sum = 0.1 + 0.2;
+  hist.min = 0.1;
+  hist.max = 0.15;
+  hist.buckets[0] = 1;
+  hist.buckets[115] = 2;
+  registry.metrics.histograms["gemm.gflops"] = hist;
+  const EventMessage m2 = dist::decode_event(dist::encode_event(registry));
+  ASSERT_EQ(m2.type, EventMessage::Type::kMetrics);
+  EXPECT_EQ(m2.metrics.counters.at("gemm.calls"), 11298u);
+  EXPECT_EQ(m2.metrics.gauges.at("pool.threads"), 4.0);
+  const metrics::HistogramSnapshot& h2 =
+      m2.metrics.histograms.at("gemm.gflops");
+  EXPECT_EQ(h2.count, hist.count);
+  EXPECT_EQ(h2.sum, hist.sum);
+  EXPECT_EQ(h2.min, hist.min);
+  EXPECT_EQ(h2.max, hist.max);
+  EXPECT_EQ(h2.buckets, hist.buckets);
+
+  // An out-of-range bucket index is a protocol error, not a silent skip.
+  EXPECT_THROW(
+      dist::decode_event(
+          "{\"type\":\"metrics\",\"counters\":{},\"gauges\":{},"
+          "\"histograms\":{\"h\":{\"count\":1,\"sum\":\"1\",\"min\":\"1\","
+          "\"max\":\"1\",\"buckets\":{\"99999\":1}}}}"),
+      std::invalid_argument);
 }
 
 TEST(DistProtocol, ShutdownIsRecognizedAndMalformedLinesThrow) {
@@ -289,6 +356,61 @@ TEST(DistRun, TwoWorkersMatchSingleProcessBitwise) {
   EXPECT_EQ(summary_count(run, "completed"), summary_count(run, "tasks"));
   EXPECT_EQ(run.csv_bytes, reference_csv());
   EXPECT_EQ(run.json_bytes, reference_json());
+}
+
+TEST(DistRun, TracedTwoWorkerRunMergesFleetTraceAndStaysBitwise) {
+  TempDir dir("dist_traced");
+  const std::string trace_path = dir.path() + "/trace.json";
+  const std::string metrics_path = dir.path() + "/metrics.json";
+  // The small heartbeat timeout shrinks the beat interval (timeout/4) so
+  // worker heartbeat markers land even in a sub-second sweep.
+  const DistRunResult run = run_susceptibility(
+      dir.path(),
+      {"--workers", "2", "--heartbeat-timeout", "0.5", "--trace", trace_path,
+       "--metrics", metrics_path},
+      {});
+  ASSERT_EQ(run.proc.exit_code, 0) << run.proc.stderr_text;
+  // Observability must never perturb experiment output: the traced run's
+  // CSV/JSON bytes match the untraced single-process reference.
+  EXPECT_EQ(run.csv_bytes, reference_csv());
+  EXPECT_EQ(run.json_bytes, reference_json());
+
+  // One merged Chrome trace: coordinator events under pid 1, each worker
+  // slot under its own named pid track.
+  const JsonValue doc = JsonValue::parse(read_file_bytes(trace_path));
+  std::map<std::uint64_t, std::string> tracks;
+  std::map<std::uint64_t, std::set<std::string>> spans_by_pid;
+  for (const JsonValue& event : doc.at("traceEvents").as_array()) {
+    const std::uint64_t pid = event.at("pid").as_uint();
+    if (event.at("ph").as_string() == "M") {
+      tracks[pid] = event.at("args").at("name").as_string();
+    } else {
+      spans_by_pid[pid].insert(event.at("name").as_string());
+    }
+  }
+  EXPECT_EQ(tracks[1], "coordinator");
+  EXPECT_EQ(tracks[2], "worker w0");
+  EXPECT_EQ(tracks[3], "worker w1");
+  EXPECT_TRUE(spans_by_pid[1].count("dist.dispatch")) << run.proc.stderr_text;
+  EXPECT_TRUE(spans_by_pid[1].count("dist.task"));
+  EXPECT_TRUE(spans_by_pid[1].count("dist.merge"));
+  bool worker_task = false;
+  bool worker_beat = false;
+  for (const auto& [pid, names] : spans_by_pid) {
+    if (pid < 2) continue;
+    worker_task = worker_task || names.count("worker.task") > 0;
+    worker_beat = worker_beat || names.count("dist.heartbeat") > 0;
+  }
+  EXPECT_TRUE(worker_task) << "no worker shipped a task-execution span";
+  EXPECT_TRUE(worker_beat) << "no worker shipped a heartbeat marker";
+
+  // Fleet metrics: worker registries merged into the coordinator's, so
+  // coordinator-side dist counters and worker-side gemm counters coexist.
+  const JsonValue fleet = JsonValue::parse(read_file_bytes(metrics_path));
+  EXPECT_EQ(fleet.at("schema").as_string(), "safelight.metrics.v1");
+  EXPECT_GE(fleet.at("counters").at("dist.dispatches").as_uint(),
+            summary_count(run, "tasks"));
+  EXPECT_GT(fleet.at("counters").at("gemm.calls").as_uint(), 0u);
 }
 
 TEST(DistRun, SecondRunIsFullyCachedAndPlansNoTasks) {
