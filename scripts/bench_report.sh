@@ -3,10 +3,13 @@
 #
 #   scripts/bench_report.sh [--smoke] [build-dir]
 #
-# Full mode (default) writes BENCH_pr8.json at the repo root — the perf
+# Full mode (default) writes BENCH_pr9.json at the repo root — the perf
 # trajectory data point for this PR:
 #   * GEMM GFLOP/s at 64/128/256 (packed kernel and naive reference, plus
 #     the packed/naive speedup ratio),
+#   * the same sizes per compute backend (SAFELIGHT_BACKEND forced to each
+#     registered variant plus auto), proving runtime dispatch costs nothing
+#     and the best variant matches the old -march=native build,
 #   * Conv2d forward time,
 #   * end-to-end fig7_susceptibility sweep wall-clock at default scale,
 #     cold scenario cache, with the prefix-activation cache ON and OFF
@@ -67,12 +70,26 @@ else
   SCALE=default
   SEEDS=2
   BENCH_ARGS=()
-  OUT_JSON="BENCH_pr8.json"
+  OUT_JSON="BENCH_pr9.json"
 fi
 
 echo "== microbench (json) =="
 "$MICROBENCH" --benchmark_filter='BM_Gemm|BM_GemmRef|BM_Conv2dForward|BM_ThreadPoolDispatch' \
   --benchmark_format=json "${BENCH_ARGS[@]}" >"$WORK_DIR/micro.json"
+
+echo "== per-backend BM_Gemm (runtime dispatch matrix) =="
+# Force each compiled-in variant in turn; a variant this CPU cannot run
+# makes the process exit nonzero (loud resolve error) and is skipped.
+BACKEND_RESULTS=()
+for b in auto scalar avx2 avx512; do
+  if SAFELIGHT_BACKEND="$b" "$MICROBENCH" --benchmark_filter='^BM_Gemm/' \
+      --benchmark_format=json "${BENCH_ARGS[@]}" \
+      >"$WORK_DIR/gemm_$b.json" 2>"$WORK_DIR/gemm_$b.err"; then
+    BACKEND_RESULTS+=("$b=$WORK_DIR/gemm_$b.json")
+  else
+    echo "backend $b unavailable on this host; skipped"
+  fi
+done
 
 echo "== fig7 sweep ($SCALE scale, $SEEDS seeds) =="
 export SAFELIGHT_SCALE="$SCALE"
@@ -132,7 +149,7 @@ echo "untraced: ${UNTRACED_RUNS[*]}s  traced: ${TRACED_RUNS[*]}s  csv_identical=
 python3 - "$WORK_DIR/micro.json" "$OUT_JSON" "$SCALE" "$SEEDS" \
     "$SWEEP_CACHED" "$SWEEP_UNCACHED" "${UNTRACED_RUNS[*]}" \
     "${TRACED_RUNS[*]}" "$CSV_IDENTICAL" "$WORK_DIR/trace.json" \
-    "$WORK_DIR/metrics.json" <<'PY'
+    "$WORK_DIR/metrics.json" "${BACKEND_RESULTS[*]}" <<'PY'
 import json, platform, subprocess, sys
 
 micro_path, out_path, scale, seeds, cached, uncached = sys.argv[1:7]
@@ -140,6 +157,7 @@ untraced_runs = [float(v) for v in sys.argv[7].split()]
 traced_runs = [float(v) for v in sys.argv[8].split()]
 csv_identical = sys.argv[9] == "true"
 trace_path, metrics_path = sys.argv[10:12]
+backend_specs = sys.argv[12].split() if len(sys.argv) > 12 else []
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -173,8 +191,49 @@ overhead_pct = round((traced - untraced) / untraced * 100, 2)
 
 gemm = {n: gflops(f"BM_Gemm/{n}") for n in (64, 128, 256)}
 ref = {n: gflops(f"BM_GemmRef/{n}") for n in (64, 128, 256)}
+
+# Per-backend matrix: "name=path" specs from the forced-variant runs.
+backend_gflops = {}
+for spec in backend_specs:
+    name, _, path = spec.partition("=")
+    with open(path) as f:
+        per = json.load(f)
+    def per_gflops(bench_name, doc=per):
+        for b in doc.get("benchmarks", []):
+            if b["name"] == bench_name:
+                return round(b["items_per_second"] / 1e9, 2)
+        return None
+    backend_gflops[name] = {
+        str(n): per_gflops(f"BM_Gemm/{n}") for n in (64, 128, 256)
+    }
+
+# BM_Gemm/256 of the single-TU -march=native kernel this PR replaced,
+# measured on this host at the pre-registry commit (PR 8 tree). The
+# acceptance bar: the best dispatched variant stays within 2% of it.
+OLD_NATIVE_GFLOPS_256 = 49.098
+variants = {k: v for k, v in backend_gflops.items() if k != "auto"}
+best_backend, best_256 = None, None
+for name, sizes in variants.items():
+    value = sizes.get("256")
+    if value is not None and (best_256 is None or value > best_256):
+        best_backend, best_256 = name, value
+auto_256 = backend_gflops.get("auto", {}).get("256")
+backend_summary = {
+    "old_native_build_gflops_256": OLD_NATIVE_GFLOPS_256,
+    "best_backend": best_backend,
+    "best_gflops_256": best_256,
+    "auto_gflops_256": auto_256,
+    # Negative = faster than the old -march=native build.
+    "vs_old_native_pct": round((OLD_NATIVE_GFLOPS_256 - best_256)
+                               / OLD_NATIVE_GFLOPS_256 * 100, 2)
+                         if best_256 else None,
+    # auto vs the best forced variant: the cost of runtime dispatch.
+    "dispatch_overhead_pct": round((best_256 - auto_256) / best_256 * 100, 2)
+                             if best_256 and auto_256 else None,
+}
+
 report = {
-    "pr": 8,
+    "pr": 9,
     "host": {
         "machine": platform.machine(),
         "cpus": micro.get("context", {}).get("num_cpus"),
@@ -182,6 +241,8 @@ report = {
     "gemm_gflops": {str(n): gemm[n] for n in gemm},
     "gemm_ref_gflops": {str(n): ref[n] for n in ref},
     "gemm_speedup_vs_ref": {str(n): ratio(gemm[n], ref[n]) for n in gemm},
+    "gemm_backend_gflops": backend_gflops,
+    "backend_dispatch": backend_summary,
     "conv2d_forward_us": {
         "c8": micros("BM_Conv2dForward/8"),
         "c32": micros("BM_Conv2dForward/32"),

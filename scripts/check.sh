@@ -165,6 +165,15 @@ SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist" SAFELIGHT_OUT="$SMOKE_DIR/out_dist" \
 grep '\[dist\] summary:' "$SMOKE_DIR/dist.log"
 cmp "$SMOKE_DIR/out_dist_ref/fig7_susceptibility.csv" \
     "$SMOKE_DIR/out_dist/fig7_susceptibility.csv"
+# Forced-scalar leg: --backend scalar pins the whole fleet (coordinator
+# and workers) to the portable kernel variant; the numerics contract says
+# backend choice can never change a CSV byte, so the result must match
+# the auto-dispatched reference exactly.
+SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist_scalar" SAFELIGHT_OUT="$SMOKE_DIR/out_dist_scalar" \
+  "$SAFELIGHT" run susceptibility --model cnn1 --workers 2 --backend scalar \
+  >"$SMOKE_DIR/dist_scalar.log"
+cmp "$SMOKE_DIR/out_dist_ref/fig7_susceptibility.csv" \
+    "$SMOKE_DIR/out_dist_scalar/fig7_susceptibility.csv"
 # Chaos leg: PR 6 plug pulls armed inside the workers (crash on ~20% of
 # durable writes); retries must still converge on the same bytes.
 SAFELIGHT_ZOO="$SMOKE_DIR/zoo_dist_chaos" SAFELIGHT_OUT="$SMOKE_DIR/out_dist_chaos" \

@@ -25,6 +25,7 @@
 #include "dist/coordinator.hpp"
 #include "dist/plan.hpp"
 #include "dist/worker.hpp"
+#include "nn/backend.hpp"
 
 namespace safelight::cli {
 
@@ -49,6 +50,10 @@ constexpr const char* kUsage =
     "  --out <dir>          CSV/JSON output directory\n"
     "  --zoo <dir>          trained-model and result-store cache directory\n"
     "  --threads <N>        worker threads\n"
+    "  --backend <name>     gemm compute backend: auto (default; best\n"
+    "                       variant this CPU supports) | scalar | avx2 |\n"
+    "                       avx512 — results are bitwise-identical either\n"
+    "                       way, only speed changes\n"
     "  --json               also write per-(experiment, model) JSON\n"
     "  --verbose            per-scenario progress output\n"
     "\n"
@@ -180,6 +185,10 @@ CliOptions parse_flags(const std::vector<std::string>& args,
       overrides.zoo_dir = value();
     } else if (flag == "--threads") {
       overrides.threads = positive_int(flag, value());
+    } else if (flag == "--backend") {
+      const std::string& name = value();
+      nn::backend::resolve(name);  // reject typos/unsupported at the boundary
+      overrides.backend = name;
     } else if (flag == "--workers") {
       overrides.workers =
           static_cast<std::size_t>(nonnegative_int(flag, value()));
@@ -225,6 +234,11 @@ CliOptions parse_flags(const std::vector<std::string>& args,
   // below this point is live (or a single relaxed load when disarmed).
   trace::init_from_config();
   metrics::init_from_config();
+  // The cached backend resolution may predate the overrides just installed
+  // (run() is invoked repeatedly in one process by tests and embedders);
+  // re-resolve, then report the choice through the armed telemetry.
+  nn::backend::invalidate_cache();
+  nn::backend::announce(options.verbose);
   return options;
 }
 
@@ -611,6 +625,12 @@ int cmd_worker(const std::vector<std::string>& args) {
   // metrics and ships them home over the event pipe.
   trace::init_from_config();
   metrics::init_from_config();
+  // Workers select their backend from the SAFELIGHT_BACKEND the coordinator
+  // injected (or their own CPU probe under "auto" — safe on heterogeneous
+  // fleets because all conforming variants are bitwise-identical, and the
+  // hello handshake rejects a binary whose numerics actually differ).
+  nn::backend::invalidate_cache();
+  nn::backend::announce(/*verbose=*/false);
 
   dist::WorkerOptions worker;
   worker.zoo_dir = zoo_dir;
@@ -619,12 +639,11 @@ int cmd_worker(const std::vector<std::string>& args) {
   worker.protocol_out = ::dup(1);
   require(worker.protocol_out >= 0, "worker: dup(stdout) failed");
   ::dup2(2, 1);
-  if (const char* env = std::getenv("SAFELIGHT_DIST_HEARTBEAT_INTERVAL")) {
-    char* end = nullptr;
-    const double parsed = std::strtod(env, &end);
-    if (end != env && *end == '\0' && parsed > 0.0) {
-      worker.heartbeat_interval_s = parsed;
-    }
+  if (const auto interval =
+          config::strict_env_double("SAFELIGHT_DIST_HEARTBEAT_INTERVAL")) {
+    require(*interval > 0.0,
+            "SAFELIGHT_DIST_HEARTBEAT_INTERVAL must be > 0 seconds");
+    worker.heartbeat_interval_s = *interval;
   }
   worker.cancel = &g_cancel_requested;
   return dist::run_worker(worker);

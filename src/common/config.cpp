@@ -16,10 +16,8 @@ Overrides& mutable_overrides() {
   return active;
 }
 
-/// Strict integer env read: unset/empty -> nullopt; a value that is not
-/// entirely a decimal integer throws instead of silently falling back
-/// (env_int's lenient behavior is exactly the silent-clamp class this
-/// module closes).
+}  // namespace
+
 std::optional<std::int64_t> strict_env_int(const char* name) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || raw[0] == '\0') return std::nullopt;
@@ -31,7 +29,15 @@ std::optional<std::int64_t> strict_env_int(const char* name) {
   return static_cast<std::int64_t>(parsed);
 }
 
-}  // namespace
+std::optional<double> strict_env_double(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  require(end != raw && *end == '\0',
+          std::string(name) + " must be a number (got '" + raw + "')");
+  return parsed;
+}
 
 void set_overrides(const Overrides& overrides) {
   mutable_overrides() = overrides;
@@ -130,14 +136,7 @@ std::uint64_t fault_n() {
 }
 
 double fault_prob() {
-  const char* raw = std::getenv("SAFELIGHT_FAULT_PROB");
-  if (raw == nullptr || raw[0] == '\0') return 0.0;
-  char* end = nullptr;
-  const double parsed = std::strtod(raw, &end);
-  require(end != raw && *end == '\0',
-          std::string("SAFELIGHT_FAULT_PROB must be a number (got '") + raw +
-              "')");
-  return parsed;
+  return strict_env_double("SAFELIGHT_FAULT_PROB").value_or(0.0);
 }
 
 std::uint64_t fault_seed() {
@@ -158,14 +157,11 @@ double heartbeat_timeout_s() {
   if (mutable_overrides().heartbeat_timeout_s) {
     return *mutable_overrides().heartbeat_timeout_s;
   }
-  const char* raw = std::getenv("SAFELIGHT_HEARTBEAT_TIMEOUT");
-  if (raw == nullptr || raw[0] == '\0') return 10.0;
-  char* end = nullptr;
-  const double parsed = std::strtod(raw, &end);
-  require(end != raw && *end == '\0' && parsed > 0.0,
-          std::string("SAFELIGHT_HEARTBEAT_TIMEOUT must be a positive number "
-                      "of seconds (got '") +
-              raw + "')");
+  const double parsed =
+      strict_env_double("SAFELIGHT_HEARTBEAT_TIMEOUT").value_or(10.0);
+  require(parsed > 0.0,
+          "SAFELIGHT_HEARTBEAT_TIMEOUT must be a positive number of seconds "
+          "(got " + std::to_string(parsed) + ")");
   return parsed;
 }
 
@@ -190,6 +186,11 @@ std::string metrics_path() {
     return *mutable_overrides().metrics_path;
   }
   return env_string("SAFELIGHT_METRICS", "");
+}
+
+std::string backend() {
+  if (mutable_overrides().backend) return *mutable_overrides().backend;
+  return env_string("SAFELIGHT_BACKEND", "auto");
 }
 
 }  // namespace safelight::config

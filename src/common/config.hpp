@@ -35,6 +35,8 @@
 //                                        (empty = tracing disarmed)
 //   metrics_path() SAFELIGHT_METRICS     metrics JSON output file
 //                                        (empty = metrics disarmed)
+//   backend()      SAFELIGHT_BACKEND     gemm compute backend: "auto" or a
+//                                        variant name (nn/backend.hpp)
 #pragma once
 
 #include <cstddef>
@@ -63,6 +65,7 @@ struct Overrides {
   std::optional<std::size_t> max_task_retries;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> backend;
 };
 
 /// Installs `overrides` as the process-wide CLI layer (replacing any
@@ -152,5 +155,19 @@ std::string trace_path();
 /// Metrics JSON output file: CLI > SAFELIGHT_METRICS > "" (metrics
 /// disarmed). metrics::init_from_config() consumes this.
 std::string metrics_path();
+
+/// GEMM compute backend name: CLI > SAFELIGHT_BACKEND > "auto". Returned
+/// verbatim; nn::backend::resolve rejects unknown or unsupported names
+/// with the registered-variant list.
+std::string backend();
+
+/// Strict numeric env reads shared by every numeric knob above (and by the
+/// CLI's worker path): unset/empty -> nullopt; a value that is not
+/// entirely a number throws std::invalid_argument naming the variable —
+/// the actionable exit-2 path, never an uncaught parse error or a silent
+/// fallback (env_int's lenient behavior is exactly the silent-clamp class
+/// this module closes).
+std::optional<std::int64_t> strict_env_int(const char* name);
+std::optional<double> strict_env_double(const char* name);
 
 }  // namespace safelight::config

@@ -28,9 +28,11 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/zoo.hpp"
+#include "common/config.hpp"
 #include "dist/plan.hpp"
 #include "dist/protocol.hpp"
 #include "dist/store_merge.hpp"
+#include "nn/backend.hpp"
 
 extern char** environ;
 
@@ -38,7 +40,9 @@ namespace safelight::dist {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Alias of the header-pinned steady clock (see coordinator.hpp): all
+// silence/backoff/deadline arithmetic below goes through this one name.
+using Clock = CoordinatorClock;
 
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
@@ -116,6 +120,10 @@ class Coordinator {
         summary_(summary),
         planner_(experiment_, spec) {
     require(options_.workers >= 1, "run_distributed: workers must be >= 1");
+    // The fingerprint every worker hello must match: identical across
+    // hosts and backend variants for a conforming binary, different only
+    // when the kernel math differs (nn/backend.hpp).
+    expected_kernel_ = nn::backend::kernel_fingerprint();
     binary_ = options_.binary;
     if (binary_.empty()) {
       if (const char* env = std::getenv("SAFELIGHT_DIST_BIN")) binary_ = env;
@@ -199,6 +207,7 @@ class Coordinator {
     for (char** entry = environ; *entry != nullptr; ++entry) {
       const std::string value(*entry);
       if (value.rfind("SAFELIGHT_DIST_HEARTBEAT_INTERVAL=", 0) == 0) continue;
+      if (value.rfind("SAFELIGHT_BACKEND=", 0) == 0) continue;
       if (chaos && value.rfind("SAFELIGHT_FAULT_", 0) == 0) continue;
       // Telemetry knobs never pass through: a worker must not clobber the
       // coordinator's output files. Buffering mode is injected below iff
@@ -212,6 +221,12 @@ class Coordinator {
     }
     if (trace::armed()) env.push_back("SAFELIGHT_TRACE_PIPE=1");
     if (metrics::armed()) env.push_back("SAFELIGHT_METRICS_PIPE=1");
+    // The coordinator's effective backend choice (flag > env > "auto")
+    // propagates so a forced --backend governs the whole fleet; "auto"
+    // stays "auto" — each node picks the best variant its own CPU
+    // supports, which is safe because conforming variants are bitwise-
+    // identical (and the hello handshake enforces "conforming").
+    env.push_back("SAFELIGHT_BACKEND=" + config::backend());
     const double interval =
         std::clamp(options_.heartbeat_timeout_s / 4.0, 0.02, 1.0);
     char buffer[64];
@@ -562,6 +577,36 @@ class Coordinator {
     }
   }
 
+  /// Startup handshake: a worker advertising different kernel numerics is
+  /// a hard error before any task reaches it. Retrying would fail the same
+  /// way (the mismatch is a property of the binary, not the task), and
+  /// letting it run would merge store rows computed with different math —
+  /// so this throws out of the event loop instead of going through the
+  /// requeue machinery.
+  void check_hello(const WorkerSlot& slot, const EventMessage& event) {
+    if (event.kernel == expected_kernel_) {
+      if (options_.verbose) {
+        log::info("dist", "worker w%d hello: backend %s, kernel %s",
+                  slot.slot, event.backend.c_str(), event.kernel.c_str());
+      }
+      return;
+    }
+    const std::string advertised =
+        event.kernel.empty()
+            ? "no kernel fingerprint (binary predates the compute-backend "
+              "registry)"
+            : "kernel " + event.kernel + " (backend '" + event.backend + "')";
+    const std::string message =
+        "worker w" + std::to_string(slot.slot) + " (" + binary_ +
+        ") advertises " + advertised + " but the coordinator expects kernel " +
+        expected_kernel_ +
+        "; SAFELIGHT_DIST_BIN points at a binary whose GEMM numerics "
+        "differ, and merging its results would poison the stores — rebuild "
+        "the worker binary from the same sources";
+    log::error("dist", "%s", message.c_str());
+    throw std::runtime_error(message);
+  }
+
   void on_done(WorkerSlot& slot, const EventMessage& event) {
     slot.current_task.reset();
     slot.idle = true;
@@ -623,6 +668,8 @@ class Coordinator {
       }
       switch (event.type) {
         case EventMessage::Type::kHello:
+          check_hello(slot, event);
+          break;
         case EventMessage::Type::kHeartbeat:
           break;  // last_heard was updated by the read itself
         case EventMessage::Type::kDone:
@@ -825,6 +872,7 @@ class Coordinator {
   DistSummary& summary_;
   DistPlanner planner_;
   std::string binary_;
+  std::string expected_kernel_;
   std::string dist_dir_;
   std::vector<WorkerSlot> slots_;
   std::map<std::uint64_t, TaskState> tasks_;  // ordered: oldest-first steal

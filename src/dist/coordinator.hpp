@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -33,6 +34,16 @@
 #include "core/experiment.hpp"
 
 namespace safelight::dist {
+
+/// The clock every piece of coordinator liveness bookkeeping runs on —
+/// heartbeat silence, retry backoff eligibility, drain/reap deadlines. It
+/// must be steady: on a wall clock, one NTP step would instantly expire
+/// every worker's heartbeat window and mass-kill a healthy fleet. Pinned
+/// by a static_assert here and a test in tests/dist_test.cpp so a refactor
+/// cannot quietly reintroduce system_clock.
+using CoordinatorClock = std::chrono::steady_clock;
+static_assert(CoordinatorClock::is_steady,
+              "coordinator timing must use a steady clock");
 
 struct DistOptions {
   std::size_t workers = 2;

@@ -208,6 +208,8 @@ std::string encode_event(const EventMessage& event) {
   switch (event.type) {
     case EventMessage::Type::kHello:
       json.key("pid").value(event.pid);
+      json.key("backend").value(event.backend);
+      json.key("kernel").value(event.kernel);
       break;
     case EventMessage::Type::kHeartbeat:
       break;
@@ -242,6 +244,11 @@ EventMessage decode_event(const std::string& line) {
   if (type == "hello") {
     event.type = EventMessage::Type::kHello;
     event.pid = doc.at("pid").as_uint();
+    // Lenient on purpose (see EventMessage): a hello without these fields
+    // decodes with them empty so the coordinator can reject the stale
+    // binary with a mismatch error that names the fix.
+    if (doc.has("backend")) event.backend = doc.at("backend").as_string();
+    if (doc.has("kernel")) event.kernel = doc.at("kernel").as_string();
   } else if (type == "heartbeat") {
     event.type = EventMessage::Type::kHeartbeat;
   } else if (type == "done") {

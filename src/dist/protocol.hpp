@@ -18,7 +18,7 @@
 //   {"type":"shutdown"}
 //
 // Worker -> coordinator events:
-//   {"type":"hello","pid":N}
+//   {"type":"hello","pid":N,"backend":"avx512","kernel":"<16-hex digest>"}
 //   {"type":"heartbeat"}
 //   {"type":"done","id":N,"evaluated":K,"cached":M}
 //   {"type":"fatal","id":N,"message":"..."}
@@ -67,6 +67,15 @@ struct EventMessage {
   enum class Type { kHello, kHeartbeat, kDone, kFatal, kTrace, kMetrics };
   Type type = Type::kHeartbeat;
   std::uint64_t pid = 0;        // kHello
+  /// kHello: the worker's selected compute backend and its kernel-numerics
+  /// fingerprint (nn::backend::kernel_fingerprint). The coordinator refuses
+  /// a worker whose fingerprint differs from its own — a mismatched
+  /// SAFELIGHT_DIST_BIN binary must fail the handshake, not merge results
+  /// computed with different math. Decoded leniently (empty when absent)
+  /// so a pre-registry binary's hello still parses and is rejected with an
+  /// actionable error instead of the undecodable-line warn path.
+  std::string backend;          // kHello
+  std::string kernel;           // kHello
   std::uint64_t task_id = 0;    // kDone / kFatal
   std::uint64_t evaluated = 0;  // kDone: scenarios computed fresh
   std::uint64_t cached = 0;     // kDone: already present in the worker store

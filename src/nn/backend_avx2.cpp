@@ -1,0 +1,29 @@
+// AVX2 variant of the packed GEMM kernel. src/CMakeLists.txt compiles this
+// translation unit with -mavx2 (plus -ffp-contract=off — no FMA, see the
+// numerics contract) and defines SAFELIGHT_BACKEND_AVX2 when the compiler
+// supports the flag; otherwise the variant is absent from the registry and
+// the getter reports that with nullptr. The kernels are reached only
+// through the table, after the runtime __builtin_cpu_supports probe.
+#include "nn/backend.hpp"
+
+#if defined(SAFELIGHT_BACKEND_AVX2)
+
+namespace safelight::nn::backend {
+
+namespace {
+#include "nn/gemm_variant.inl"
+}  // namespace
+
+const GemmKernels* detail::avx2_kernels() { return &kVariantKernels; }
+
+}  // namespace safelight::nn::backend
+
+#else
+
+namespace safelight::nn::backend {
+
+const GemmKernels* detail::avx2_kernels() { return nullptr; }
+
+}  // namespace safelight::nn::backend
+
+#endif

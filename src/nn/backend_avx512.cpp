@@ -1,0 +1,30 @@
+// AVX-512 variant of the packed GEMM kernel. src/CMakeLists.txt compiles
+// this translation unit with -mavx512f/bw/dq/vl -mprefer-vector-width=512
+// (plus -ffp-contract=off) and defines SAFELIGHT_BACKEND_AVX512 when the
+// compiler supports the flags; otherwise the variant is absent from the
+// registry. The runtime probe requires the same four feature bits before
+// any of these kernels is reachable — this TU is exactly the code that
+// used to SIGILL on pre-AVX-512 hosts under whole-kernel -march=native.
+#include "nn/backend.hpp"
+
+#if defined(SAFELIGHT_BACKEND_AVX512)
+
+namespace safelight::nn::backend {
+
+namespace {
+#include "nn/gemm_variant.inl"
+}  // namespace
+
+const GemmKernels* detail::avx512_kernels() { return &kVariantKernels; }
+
+}  // namespace safelight::nn::backend
+
+#else
+
+namespace safelight::nn::backend {
+
+const GemmKernels* detail::avx512_kernels() { return nullptr; }
+
+}  // namespace safelight::nn::backend
+
+#endif

@@ -1,0 +1,16 @@
+// Scalar variant of the packed GEMM kernel: compiled with the baseline ISA
+// only (-ffp-contract=off, no -m flags), so it runs on any CPU the binary
+// itself loads on. Always registered — it is the portability floor the
+// runtime dispatch falls back to, and the forced reference point for the
+// backend-equivalence tests.
+#include "nn/backend.hpp"
+
+namespace safelight::nn::backend {
+
+namespace {
+#include "nn/gemm_variant.inl"
+}  // namespace
+
+const GemmKernels* detail::scalar_kernels() { return &kVariantKernels; }
+
+}  // namespace safelight::nn::backend

@@ -1,11 +1,16 @@
+// Dispatching layer of the packed GEMM: owns observability, scratch
+// allocation and row parallelism, and routes the actual compute through
+// the kernel table of the active compute backend (nn/backend.hpp). This
+// translation unit is compiled with the baseline ISA — only the variant
+// TUs carry ISA flags, and they are reached exclusively through function
+// pointers after the runtime CPU probe.
 #include "nn/gemm.hpp"
-
-#include <algorithm>
 
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/scratch.hpp"
 #include "common/trace.hpp"
+#include "nn/backend.hpp"
 
 namespace safelight::nn {
 
@@ -25,8 +30,10 @@ constexpr double kSpanFlopThreshold = 1 << 20;
 /// relaxed loads.
 class GemmScope {
  public:
-  GemmScope(const char* name, std::size_t m, std::size_t k, std::size_t n)
+  GemmScope(const char* name, const char* backend_name, std::size_t m,
+            std::size_t k, std::size_t n)
       : name_(name),
+        backend_name_(backend_name),
         m_(m),
         k_(k),
         n_(n),
@@ -63,6 +70,7 @@ class GemmScope {
       event.num_args.emplace_back("k", static_cast<double>(k_));
       event.num_args.emplace_back("n", static_cast<double>(n_));
       event.num_args.emplace_back("gflops", gflops);
+      event.str_args.emplace_back("backend", backend_name_);
       trace::record(std::move(event));
     }
   }
@@ -71,157 +79,35 @@ class GemmScope {
 
  private:
   const char* name_;
+  const char* backend_name_;
   std::size_t m_, k_, n_;
   double flops_;
   bool metered_ = false;
   std::uint64_t start_ns_ = 0;
 };
 
-// Register tile: kMr rows x kNr columns of C accumulated in registers
-// (kNr floats = 2 x 512-bit or 4 x 256-bit vectors per row). Larger tiles
-// spill; smaller ones leave FLOPs on the table.
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 32;
 // Rows of C per parallel grain; keeps pool-submission overhead negligible
-// for the small matrices that dominate reduced-scale training.
+// for the small matrices that dominate reduced-scale training. A multiple
+// of backend::kMr, so row blocks never straddle a chunk boundary and the
+// output is independent of the chunking.
 constexpr std::size_t kRowGrain = 16;
+static_assert(kRowGrain % backend::kMr == 0);
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
-/// Packs B[k x n] (row-major) into kNr-wide column panels: panel pa holds,
-/// for each p, the kNr consecutive floats b[p*n + pa*kNr ...), zero-padded
-/// past column n so the micro-kernel never needs a column tail.
-void pack_b(const float* b, std::size_t k, std::size_t n, float* packed) {
-  const std::size_t panels = ceil_div(n, kNr);
-  for (std::size_t pa = 0; pa < panels; ++pa) {
-    const std::size_t j0 = pa * kNr;
-    const std::size_t width = std::min(kNr, n - j0);
-    float* dst = packed + pa * kNr * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* src = b + p * n + j0;
-      for (std::size_t j = 0; j < width; ++j) dst[j] = src[j];
-      for (std::size_t j = width; j < kNr; ++j) dst[j] = 0.0f;
-      dst += kNr;
-    }
-  }
+/// Packed-panel buffer for B, sized for ceil(n / kNr) zero-padded panels.
+float* alloc_packed(ScratchArena& arena, std::size_t k, std::size_t n) {
+  return arena.alloc(ceil_div(n, backend::kNr) * backend::kNr * k);
 }
 
-/// Packs B^T where B is [n x k] (row-major): panel pa holds, for each p,
-/// the floats b[(pa*kNr + j)*k + p]. Rows of B are read contiguously.
-void pack_bt(const float* b, std::size_t k, std::size_t n, float* packed) {
-  const std::size_t panels = ceil_div(n, kNr);
-  for (std::size_t pa = 0; pa < panels; ++pa) {
-    const std::size_t j0 = pa * kNr;
-    const std::size_t width = std::min(kNr, n - j0);
-    float* dst = packed + pa * kNr * k;
-    for (std::size_t j = 0; j < width; ++j) {
-      const float* brow = b + (j0 + j) * k;
-      for (std::size_t p = 0; p < k; ++p) dst[p * kNr + j] = brow[p];
-    }
-    for (std::size_t j = width; j < kNr; ++j) {
-      for (std::size_t p = 0; p < k; ++p) dst[p * kNr + j] = 0.0f;
-    }
-  }
-}
-
-/// Micro-kernel: C[i0..i0+MR) x [j0..j0+width) via one packed panel.
-/// Every output element keeps a single accumulator updated in ascending-p
-/// order (one statement per unrolled step), so the reduction order matches
-/// gemm_ref bit for bit; the j-loops vectorize, the p-loop unrolls by 4.
-template <std::size_t MR, typename AFetch>
-void micro_tile(AFetch a_of, const float* panel, float* c, std::size_t i0,
-                std::size_t k, std::size_t n, std::size_t j0,
-                std::size_t width, bool accumulate, const float* row_bias,
-                const float* col_bias) {
-  float acc[MR][kNr];
-  for (std::size_t r = 0; r < MR; ++r) {
-    const float* crow = c + (i0 + r) * n + j0;
-    for (std::size_t j = 0; j < kNr; ++j) {
-      acc[r][j] = (accumulate && j < width) ? crow[j] : 0.0f;
-    }
-  }
-
-  std::size_t p = 0;
-  for (; p + 4 <= k; p += 4) {
-    const float* b0 = panel + (p + 0) * kNr;
-    const float* b1 = panel + (p + 1) * kNr;
-    const float* b2 = panel + (p + 2) * kNr;
-    const float* b3 = panel + (p + 3) * kNr;
-    for (std::size_t r = 0; r < MR; ++r) {
-      const float a0 = a_of(i0 + r, p + 0);
-      const float a1 = a_of(i0 + r, p + 1);
-      const float a2 = a_of(i0 + r, p + 2);
-      const float a3 = a_of(i0 + r, p + 3);
-      float* arow = acc[r];
-      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a0 * b0[j];
-      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a1 * b1[j];
-      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a2 * b2[j];
-      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a3 * b3[j];
-    }
-  }
-  for (; p < k; ++p) {
-    const float* bp = panel + p * kNr;
-    for (std::size_t r = 0; r < MR; ++r) {
-      const float ap = a_of(i0 + r, p);
-      float* arow = acc[r];
-      for (std::size_t j = 0; j < kNr; ++j) arow[j] += ap * bp[j];
-    }
-  }
-
-  for (std::size_t r = 0; r < MR; ++r) {
-    float* crow = c + (i0 + r) * n + j0;
-    if (row_bias != nullptr) {
-      const float bias = row_bias[i0 + r];
-      for (std::size_t j = 0; j < width; ++j) crow[j] = acc[r][j] + bias;
-    } else if (col_bias != nullptr) {
-      for (std::size_t j = 0; j < width; ++j) {
-        crow[j] = acc[r][j] + col_bias[j0 + j];
-      }
-    } else {
-      for (std::size_t j = 0; j < width; ++j) crow[j] = acc[r][j];
-    }
-  }
-}
-
-/// Drives the micro-kernel over all row blocks and panels, parallelized
-/// over rows of C (disjoint writes; results independent of the chunking).
-template <typename AFetch>
-void run_tiles(AFetch a_of, const float* packed, float* c, std::size_t m,
-               std::size_t k, std::size_t n, bool accumulate,
-               const float* row_bias, const float* col_bias) {
-  const std::size_t panels = ceil_div(n, kNr);
+/// Runs the row driver of `kernels` over all of C in parallel chunks.
+void run_parallel(const backend::GemmKernels& kernels,
+                  const backend::GemmArgs& args, bool transposed_a) {
+  void (*run)(const backend::GemmArgs&, std::size_t, std::size_t) =
+      transposed_a ? kernels.run_rows_at : kernels.run_rows;
   parallel_for_chunks(
-      0, m,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i0 = lo; i0 < hi;) {
-          const std::size_t mr = std::min(kMr, hi - i0);
-          for (std::size_t pa = 0; pa < panels; ++pa) {
-            const std::size_t j0 = pa * kNr;
-            const std::size_t width = std::min(kNr, n - j0);
-            const float* panel = packed + pa * kNr * k;
-            switch (mr) {
-              case 4:
-                micro_tile<4>(a_of, panel, c, i0, k, n, j0, width, accumulate,
-                              row_bias, col_bias);
-                break;
-              case 3:
-                micro_tile<3>(a_of, panel, c, i0, k, n, j0, width, accumulate,
-                              row_bias, col_bias);
-                break;
-              case 2:
-                micro_tile<2>(a_of, panel, c, i0, k, n, j0, width, accumulate,
-                              row_bias, col_bias);
-                break;
-              default:
-                micro_tile<1>(a_of, panel, c, i0, k, n, j0, width, accumulate,
-                              row_bias, col_bias);
-                break;
-            }
-          }
-          i0 += mr;
-        }
-      },
-      kRowGrain);
+      0, args.m,
+      [&](std::size_t lo, std::size_t hi) { run(args, lo, hi); }, kRowGrain);
 }
 
 }  // namespace
@@ -230,38 +116,67 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n, bool accumulate,
           const float* row_bias) {
   if (m == 0 || n == 0) return;
-  const GemmScope scope("gemm", m, k, n);
+  const backend::ComputeBackend& active = backend::active();
+  const backend::GemmKernels& kernels = active.gemm_kernels();
+  const GemmScope scope("gemm", active.name(), m, k, n);
   ScratchArena& arena = ScratchArena::local();
   const ScratchArena::Frame frame(arena);
-  float* packed = arena.alloc(ceil_div(n, kNr) * kNr * k);
-  pack_b(b, k, n, packed);
-  run_tiles([a, k](std::size_t i, std::size_t p) { return a[i * k + p]; },
-            packed, c, m, k, n, accumulate, row_bias, nullptr);
+  float* packed = alloc_packed(arena, k, n);
+  kernels.pack_b(b, k, n, packed);
+  backend::GemmArgs args;
+  args.a = a;
+  args.packed = packed;
+  args.c = c;
+  args.m = m;
+  args.k = k;
+  args.n = n;
+  args.accumulate = accumulate;
+  args.row_bias = row_bias;
+  run_parallel(kernels, args, /*transposed_a=*/false);
 }
 
 void gemm_bt(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate,
              const float* col_bias) {
   if (m == 0 || n == 0) return;
-  const GemmScope scope("gemm_bt", m, k, n);
+  const backend::ComputeBackend& active = backend::active();
+  const backend::GemmKernels& kernels = active.gemm_kernels();
+  const GemmScope scope("gemm_bt", active.name(), m, k, n);
   ScratchArena& arena = ScratchArena::local();
   const ScratchArena::Frame frame(arena);
-  float* packed = arena.alloc(ceil_div(n, kNr) * kNr * k);
-  pack_bt(b, k, n, packed);
-  run_tiles([a, k](std::size_t i, std::size_t p) { return a[i * k + p]; },
-            packed, c, m, k, n, accumulate, nullptr, col_bias);
+  float* packed = alloc_packed(arena, k, n);
+  kernels.pack_bt(b, k, n, packed);
+  backend::GemmArgs args;
+  args.a = a;
+  args.packed = packed;
+  args.c = c;
+  args.m = m;
+  args.k = k;
+  args.n = n;
+  args.accumulate = accumulate;
+  args.col_bias = col_bias;
+  run_parallel(kernels, args, /*transposed_a=*/false);
 }
 
 void gemm_at(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate) {
   if (m == 0 || n == 0) return;
-  const GemmScope scope("gemm_at", m, k, n);
+  const backend::ComputeBackend& active = backend::active();
+  const backend::GemmKernels& kernels = active.gemm_kernels();
+  const GemmScope scope("gemm_at", active.name(), m, k, n);
   ScratchArena& arena = ScratchArena::local();
   const ScratchArena::Frame frame(arena);
-  float* packed = arena.alloc(ceil_div(n, kNr) * kNr * k);
-  pack_b(b, k, n, packed);
-  run_tiles([a, m](std::size_t i, std::size_t p) { return a[p * m + i]; },
-            packed, c, m, k, n, accumulate, nullptr, nullptr);
+  float* packed = alloc_packed(arena, k, n);
+  kernels.pack_b(b, k, n, packed);
+  backend::GemmArgs args;
+  args.a = a;
+  args.packed = packed;
+  args.c = c;
+  args.m = m;
+  args.k = k;
+  args.n = n;
+  args.accumulate = accumulate;
+  run_parallel(kernels, args, /*transposed_a=*/true);
 }
 
 }  // namespace safelight::nn

@@ -3,14 +3,17 @@
 // All convolution and fully-connected compute lowers onto these three
 // routines. B is packed into kNr-wide column panels held in the thread-local
 // scratch arena; a kMr x kNr register-blocked micro-kernel (unrolled by 4
-// over k) then streams the panels, which auto-vectorizes on any SIMD ISA the
-// compiler targets (src/CMakeLists.txt compiles this translation unit for
-// the host ISA when available).
+// over k) then streams the panels. The compute itself is dispatched at
+// runtime through the compute-backend registry (nn/backend.hpp): one fat
+// binary carries scalar, AVX2 and AVX-512 variants of the kernel body and
+// picks the best one the host CPU supports (override with --backend /
+// SAFELIGHT_BACKEND).
 //
 // Numerics contract: every output element is reduced over k in ascending
 // order through a single accumulator, with FMA contraction disabled, so
 // results are bitwise-identical to the naive reference kernels in
-// nn/gemm_ref.hpp regardless of tile shape or thread count (enforced by
+// nn/gemm_ref.hpp regardless of tile shape, thread count, host ISA or
+// backend choice (enforced per compiled-in variant by
 // tests/gemm_equivalence_test.cpp).
 //
 // The optional fused bias is added once per output element after the

@@ -1,0 +1,193 @@
+// Shared body of the packed, register-tiled GEMM kernel — textually
+// included by each backend_*.cpp variant translation unit inside
+//
+//     namespace safelight::nn::backend { namespace { ... } }
+//
+// so every function here has internal linkage and is compiled once per
+// variant with that variant's ISA flags (src/CMakeLists.txt). Only the
+// kVariantKernels table at the bottom escapes, through the TU's
+// detail::*_kernels() getter.
+//
+// ODR/SIGILL discipline: this file must stay free of std:: calls and any
+// header-inline code. A template like std::min<std::size_t> instantiated
+// here would be an external-linkage COMDAT symbol compiled with (say)
+// AVX-512 flags; if the linker picked this TU's copy for the whole
+// program, baseline code paths would execute AVX-512 instructions on hosts
+// that never passed the runtime probe. Hand-rolled min/ceil_div keep the
+// variant hermetic.
+//
+// Numerics contract (same as gemm_ref): every output element is reduced
+// over k in ascending order through a single accumulator, one statement
+// per unrolled step, FP contraction off — bitwise-identical results on
+// every ISA, tile shape and thread count.
+
+inline std::size_t variant_min(std::size_t a, std::size_t b) {
+  return b < a ? b : a;
+}
+
+inline std::size_t variant_ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Packs B[k x n] (row-major) into kNr-wide column panels: panel pa holds,
+/// for each p, the kNr consecutive floats b[p*n + pa*kNr ...), zero-padded
+/// past column n so the micro-kernel never needs a column tail.
+void variant_pack_b(const float* b, std::size_t k, std::size_t n,
+                    float* packed) {
+  const std::size_t panels = variant_ceil_div(n, kNr);
+  for (std::size_t pa = 0; pa < panels; ++pa) {
+    const std::size_t j0 = pa * kNr;
+    const std::size_t width = variant_min(kNr, n - j0);
+    float* dst = packed + pa * kNr * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* src = b + p * n + j0;
+      for (std::size_t j = 0; j < width; ++j) dst[j] = src[j];
+      for (std::size_t j = width; j < kNr; ++j) dst[j] = 0.0f;
+      dst += kNr;
+    }
+  }
+}
+
+/// Packs B^T where B is [n x k] (row-major): panel pa holds, for each p,
+/// the floats b[(pa*kNr + j)*k + p]. Rows of B are read contiguously.
+void variant_pack_bt(const float* b, std::size_t k, std::size_t n,
+                     float* packed) {
+  const std::size_t panels = variant_ceil_div(n, kNr);
+  for (std::size_t pa = 0; pa < panels; ++pa) {
+    const std::size_t j0 = pa * kNr;
+    const std::size_t width = variant_min(kNr, n - j0);
+    float* dst = packed + pa * kNr * k;
+    for (std::size_t j = 0; j < width; ++j) {
+      const float* brow = b + (j0 + j) * k;
+      for (std::size_t p = 0; p < k; ++p) dst[p * kNr + j] = brow[p];
+    }
+    for (std::size_t j = width; j < kNr; ++j) {
+      for (std::size_t p = 0; p < k; ++p) dst[p * kNr + j] = 0.0f;
+    }
+  }
+}
+
+/// A-element fetchers: row-major A[m x k] vs transposed A stored [k x m].
+struct ARowMajor {
+  const float* a;
+  std::size_t k;
+  float operator()(std::size_t i, std::size_t p) const { return a[i * k + p]; }
+};
+
+struct ATransposed {
+  const float* a;
+  std::size_t m;
+  float operator()(std::size_t i, std::size_t p) const { return a[p * m + i]; }
+};
+
+/// Micro-kernel: C[i0..i0+MR) x [j0..j0+width) via one packed panel.
+/// Every output element keeps a single accumulator updated in ascending-p
+/// order (one statement per unrolled step), so the reduction order matches
+/// gemm_ref bit for bit; the j-loops vectorize, the p-loop unrolls by 4.
+template <std::size_t MR, typename AFetch>
+void micro_tile(AFetch a_of, const float* panel, float* c, std::size_t i0,
+                std::size_t k, std::size_t n, std::size_t j0,
+                std::size_t width, bool accumulate, const float* row_bias,
+                const float* col_bias) {
+  float acc[MR][kNr];
+  for (std::size_t r = 0; r < MR; ++r) {
+    const float* crow = c + (i0 + r) * n + j0;
+    for (std::size_t j = 0; j < kNr; ++j) {
+      acc[r][j] = (accumulate && j < width) ? crow[j] : 0.0f;
+    }
+  }
+
+  std::size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const float* b0 = panel + (p + 0) * kNr;
+    const float* b1 = panel + (p + 1) * kNr;
+    const float* b2 = panel + (p + 2) * kNr;
+    const float* b3 = panel + (p + 3) * kNr;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float a0 = a_of(i0 + r, p + 0);
+      const float a1 = a_of(i0 + r, p + 1);
+      const float a2 = a_of(i0 + r, p + 2);
+      const float a3 = a_of(i0 + r, p + 3);
+      float* arow = acc[r];
+      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a0 * b0[j];
+      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a1 * b1[j];
+      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a2 * b2[j];
+      for (std::size_t j = 0; j < kNr; ++j) arow[j] += a3 * b3[j];
+    }
+  }
+  for (; p < k; ++p) {
+    const float* bp = panel + p * kNr;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float ap = a_of(i0 + r, p);
+      float* arow = acc[r];
+      for (std::size_t j = 0; j < kNr; ++j) arow[j] += ap * bp[j];
+    }
+  }
+
+  for (std::size_t r = 0; r < MR; ++r) {
+    float* crow = c + (i0 + r) * n + j0;
+    if (row_bias != nullptr) {
+      const float bias = row_bias[i0 + r];
+      for (std::size_t j = 0; j < width; ++j) crow[j] = acc[r][j] + bias;
+    } else if (col_bias != nullptr) {
+      for (std::size_t j = 0; j < width; ++j) {
+        crow[j] = acc[r][j] + col_bias[j0 + j];
+      }
+    } else {
+      for (std::size_t j = 0; j < width; ++j) crow[j] = acc[r][j];
+    }
+  }
+}
+
+/// Drives the micro-kernel over row blocks [lo, hi) and all panels. The
+/// dispatcher parallelizes over disjoint row ranges at a granularity kMr
+/// divides, so blocks never straddle a chunk boundary and the output is
+/// independent of the chunking.
+template <typename AFetch>
+void run_rows_impl(AFetch a_of, const GemmArgs& args, std::size_t lo,
+                   std::size_t hi) {
+  const std::size_t panels = variant_ceil_div(args.n, kNr);
+  for (std::size_t i0 = lo; i0 < hi;) {
+    const std::size_t mr = variant_min(kMr, hi - i0);
+    for (std::size_t pa = 0; pa < panels; ++pa) {
+      const std::size_t j0 = pa * kNr;
+      const std::size_t width = variant_min(kNr, args.n - j0);
+      const float* panel = args.packed + pa * kNr * args.k;
+      switch (mr) {
+        case 4:
+          micro_tile<4>(a_of, panel, args.c, i0, args.k, args.n, j0, width,
+                        args.accumulate, args.row_bias, args.col_bias);
+          break;
+        case 3:
+          micro_tile<3>(a_of, panel, args.c, i0, args.k, args.n, j0, width,
+                        args.accumulate, args.row_bias, args.col_bias);
+          break;
+        case 2:
+          micro_tile<2>(a_of, panel, args.c, i0, args.k, args.n, j0, width,
+                        args.accumulate, args.row_bias, args.col_bias);
+          break;
+        default:
+          micro_tile<1>(a_of, panel, args.c, i0, args.k, args.n, j0, width,
+                        args.accumulate, args.row_bias, args.col_bias);
+          break;
+      }
+    }
+    i0 += mr;
+  }
+}
+
+void variant_run_rows(const GemmArgs& args, std::size_t lo, std::size_t hi) {
+  run_rows_impl(ARowMajor{args.a, args.k}, args, lo, hi);
+}
+
+void variant_run_rows_at(const GemmArgs& args, std::size_t lo,
+                         std::size_t hi) {
+  run_rows_impl(ATransposed{args.a, args.m}, args, lo, hi);
+}
+
+const GemmKernels kVariantKernels = {
+    &variant_pack_b,
+    &variant_pack_bt,
+    &variant_run_rows,
+    &variant_run_rows_at,
+};

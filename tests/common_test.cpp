@@ -517,6 +517,79 @@ TEST(Config, FaultKnobsRejectBogusEnvValues) {
   EXPECT_THROW(config::fault_prob(), std::invalid_argument);
 }
 
+TEST(Config, StrictEnvIntContract) {
+  ::unsetenv("SAFELIGHT_TEST_STRICT");
+  EXPECT_FALSE(config::strict_env_int("SAFELIGHT_TEST_STRICT").has_value());
+  {
+    ScopedEnv valid("SAFELIGHT_TEST_STRICT", "-12");
+    EXPECT_EQ(config::strict_env_int("SAFELIGHT_TEST_STRICT"), -12);
+  }
+  {
+    ScopedEnv junk("SAFELIGHT_TEST_STRICT", "twelve");
+    EXPECT_THROW(config::strict_env_int("SAFELIGHT_TEST_STRICT"),
+                 std::invalid_argument);
+  }
+  // Trailing garbage is rejected — "3x10" must not quietly parse as 3.
+  ScopedEnv partial("SAFELIGHT_TEST_STRICT", "3x10");
+  try {
+    config::strict_env_int("SAFELIGHT_TEST_STRICT");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    // The error names the variable so the user knows what to fix.
+    EXPECT_NE(std::string(e.what()).find("SAFELIGHT_TEST_STRICT"),
+              std::string::npos);
+  }
+}
+
+TEST(Config, StrictEnvDoubleContract) {
+  ::unsetenv("SAFELIGHT_TEST_STRICT");
+  EXPECT_FALSE(config::strict_env_double("SAFELIGHT_TEST_STRICT").has_value());
+  {
+    ScopedEnv valid("SAFELIGHT_TEST_STRICT", "2.5e-1");
+    EXPECT_DOUBLE_EQ(*config::strict_env_double("SAFELIGHT_TEST_STRICT"),
+                     0.25);
+  }
+  {
+    ScopedEnv junk("SAFELIGHT_TEST_STRICT", "abc");
+    EXPECT_THROW(config::strict_env_double("SAFELIGHT_TEST_STRICT"),
+                 std::invalid_argument);
+  }
+  ScopedEnv partial("SAFELIGHT_TEST_STRICT", "0.5seconds");
+  try {
+    config::strict_env_double("SAFELIGHT_TEST_STRICT");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SAFELIGHT_TEST_STRICT"),
+              std::string::npos);
+  }
+}
+
+TEST(Config, HeartbeatTimeoutValidatedThroughStrictHelper) {
+  ::unsetenv("SAFELIGHT_HEARTBEAT_TIMEOUT");
+  EXPECT_DOUBLE_EQ(config::heartbeat_timeout_s(), 10.0);
+  {
+    ScopedEnv env("SAFELIGHT_HEARTBEAT_TIMEOUT", "2.5");
+    EXPECT_DOUBLE_EQ(config::heartbeat_timeout_s(), 2.5);
+  }
+  {
+    ScopedEnv junk("SAFELIGHT_HEARTBEAT_TIMEOUT", "soon");
+    EXPECT_THROW(config::heartbeat_timeout_s(), std::invalid_argument);
+  }
+  ScopedEnv zero("SAFELIGHT_HEARTBEAT_TIMEOUT", "0");
+  EXPECT_THROW(config::heartbeat_timeout_s(), std::invalid_argument);
+}
+
+TEST(Config, BackendFollowsPrecedence) {
+  ::unsetenv("SAFELIGHT_BACKEND");
+  EXPECT_EQ(config::backend(), "auto");
+  ScopedEnv env("SAFELIGHT_BACKEND", "scalar");
+  EXPECT_EQ(config::backend(), "scalar");  // env beats default
+  config::Overrides cli;
+  cli.backend = "avx2";
+  config::ScopedOverrides guard(cli);
+  EXPECT_EQ(config::backend(), "avx2");  // CLI beats env
+}
+
 // ---------------------------------------------------------------- fault
 
 TEST(Fault, DisarmedPtpIsANoop) {

@@ -31,6 +31,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/result_store.hpp"
+#include "dist/coordinator.hpp"
 #include "dist/protocol.hpp"
 #include "dist/store_merge.hpp"
 #include "test_util.hpp"
@@ -271,6 +272,20 @@ TEST(StoreMerge, MergedFileIsALoadableResultStore) {
 }
 
 // ---------------------------------------------------------------------------
+// Coordinator timing
+// ---------------------------------------------------------------------------
+
+TEST(Coordinator, LivenessClockIsPinnedSteady) {
+  // All heartbeat/backoff/drain bookkeeping runs on CoordinatorClock; a
+  // wall clock here would let one NTP step expire every worker's heartbeat
+  // window at once. The static_assert in coordinator.hpp catches a refactor
+  // at compile time; this keeps the property visible in the test report.
+  static_assert(dist::CoordinatorClock::is_steady,
+                "coordinator liveness bookkeeping must not follow wall time");
+  EXPECT_TRUE(dist::CoordinatorClock::is_steady);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end coordinator/worker runs (real binary, real subprocesses)
 // ---------------------------------------------------------------------------
 
@@ -356,6 +371,25 @@ TEST(DistRun, TwoWorkersMatchSingleProcessBitwise) {
   EXPECT_EQ(summary_count(run, "completed"), summary_count(run, "tasks"));
   EXPECT_EQ(run.csv_bytes, reference_csv());
   EXPECT_EQ(run.json_bytes, reference_json());
+}
+
+TEST(DistRun, MismatchedKernelFingerprintFailsTheHandshake) {
+  // A worker advertising different kernel numerics (here: the test seam
+  // that fakes the hello fingerprint, standing in for a SAFELIGHT_DIST_BIN
+  // binary built with different math) must be refused before any task is
+  // dispatched — merging its store rows would silently mix numerics.
+  TempDir dir("dist_bad_kernel");
+  const DistRunResult run =
+      run_susceptibility(dir.path(), {"--workers", "1"},
+                         {"SAFELIGHT_DIST_FAKE_KERNEL=deadbeefdeadbeef"});
+  EXPECT_NE(run.proc.exit_code, 0);
+  EXPECT_NE(run.proc.stderr_text.find("deadbeefdeadbeef"), std::string::npos)
+      << run.proc.stderr_text;
+  EXPECT_NE(run.proc.stderr_text.find("SAFELIGHT_DIST_BIN"),
+            std::string::npos)
+      << run.proc.stderr_text;
+  // Failed before any work: the sweep CSV was never assembled.
+  EXPECT_TRUE(run.csv_bytes.empty());
 }
 
 TEST(DistRun, TracedTwoWorkerRunMergesFleetTraceAndStaysBitwise) {

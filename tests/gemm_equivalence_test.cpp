@@ -1,14 +1,19 @@
 // Golden-equivalence tests: the packed, register-tiled kernels in nn/gemm.hpp
 // must reproduce the naive reference kernels in nn/gemm_ref.hpp bit for bit
 // (same ascending-k single-accumulator reduction per output element, no FMA
-// contraction), across random shapes, edge shapes and both epilogues.
+// contraction), across random shapes, edge shapes and both epilogues — and
+// per compute-backend variant: every variant compiled into this binary that
+// the host CPU supports is forced in turn and held to the same byte-identity
+// contract, so runtime dispatch can never change a result.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/scratch.hpp"
+#include "nn/backend.hpp"
 #include "nn/gemm.hpp"
 #include "nn/gemm_ref.hpp"
 
@@ -47,7 +52,13 @@ const GemmCase kCases[] = {
     {64, 64, 64, false, false},
 };
 
-TEST(GemmEquivalence, GemmMatchesReferenceBitwise) {
+std::string case_label(const char* op, const GemmCase& c,
+                       const std::string& variant) {
+  return std::string(op) + " [" + variant + "] m=" + std::to_string(c.m) +
+         " k=" + std::to_string(c.k) + " n=" + std::to_string(c.n);
+}
+
+void check_gemm_cases(const std::string& variant) {
   Rng rng(101);
   for (const auto& c : kCases) {
     const auto a = random_vec(c.m * c.k, rng);
@@ -59,13 +70,11 @@ TEST(GemmEquivalence, GemmMatchesReferenceBitwise) {
          c.bias ? bias.data() : nullptr);
     gemm_ref(a.data(), b.data(), want.data(), c.m, c.k, c.n, c.accumulate,
              c.bias ? bias.data() : nullptr);
-    expect_bitwise_equal(got, want,
-                         "gemm m=" + std::to_string(c.m) + " k=" +
-                             std::to_string(c.k) + " n=" + std::to_string(c.n));
+    expect_bitwise_equal(got, want, case_label("gemm", c, variant));
   }
 }
 
-TEST(GemmEquivalence, GemmBtMatchesReferenceBitwise) {
+void check_gemm_bt_cases(const std::string& variant) {
   Rng rng(102);
   for (const auto& c : kCases) {
     const auto a = random_vec(c.m * c.k, rng);
@@ -77,13 +86,11 @@ TEST(GemmEquivalence, GemmBtMatchesReferenceBitwise) {
             c.bias ? bias.data() : nullptr);
     gemm_bt_ref(a.data(), b.data(), want.data(), c.m, c.k, c.n, c.accumulate,
                 c.bias ? bias.data() : nullptr);
-    expect_bitwise_equal(got, want,
-                         "gemm_bt m=" + std::to_string(c.m) + " k=" +
-                             std::to_string(c.k) + " n=" + std::to_string(c.n));
+    expect_bitwise_equal(got, want, case_label("gemm_bt", c, variant));
   }
 }
 
-TEST(GemmEquivalence, GemmAtMatchesReferenceBitwise) {
+void check_gemm_at_cases(const std::string& variant) {
   Rng rng(103);
   for (const auto& c : kCases) {
     const auto a = random_vec(c.k * c.m, rng);
@@ -92,10 +99,41 @@ TEST(GemmEquivalence, GemmAtMatchesReferenceBitwise) {
     auto want = got;
     gemm_at(a.data(), b.data(), got.data(), c.m, c.k, c.n, c.accumulate);
     gemm_at_ref(a.data(), b.data(), want.data(), c.m, c.k, c.n, c.accumulate);
-    expect_bitwise_equal(got, want,
-                         "gemm_at m=" + std::to_string(c.m) + " k=" +
-                             std::to_string(c.k) + " n=" + std::to_string(c.n));
+    expect_bitwise_equal(got, want, case_label("gemm_at", c, variant));
   }
+}
+
+TEST(GemmEquivalence, GemmMatchesReferenceBitwise) {
+  check_gemm_cases("auto");
+}
+
+TEST(GemmEquivalence, GemmBtMatchesReferenceBitwise) {
+  check_gemm_bt_cases("auto");
+}
+
+TEST(GemmEquivalence, GemmAtMatchesReferenceBitwise) {
+  check_gemm_at_cases("auto");
+}
+
+TEST(GemmEquivalence, EveryCompiledVariantMatchesReferenceBitwise) {
+  // The backend matrix: force each registered variant the host supports and
+  // hold it to byte identity with gemm_ref across the full case table. An
+  // unsupported variant (e.g. AVX-512 compiled in, run on an AVX2 host) is
+  // skipped but logged — the scalar baseline is always exercised.
+  std::size_t checked = 0;
+  for (const backend::ComputeBackend* variant : backend::registered()) {
+    if (!variant->supported()) {
+      GTEST_LOG_(INFO) << "variant " << variant->name()
+                       << " compiled in but not supported on this CPU";
+      continue;
+    }
+    backend::ScopedBackend forced(*variant);
+    check_gemm_cases(variant->name());
+    check_gemm_bt_cases(variant->name());
+    check_gemm_at_cases(variant->name());
+    ++checked;
+  }
+  EXPECT_GE(checked, 1u);  // scalar at minimum
 }
 
 TEST(GemmEquivalence, ZeroMatricesProduceZeros) {
