@@ -1,0 +1,240 @@
+#!/usr/bin/env bash
+# Serving throughput bench: concurrent clients against `safelight serve`.
+#
+#   scripts/bench_serve.sh [--smoke] [build-dir]
+#
+# Full mode (default) writes BENCH_pr10.json at the repo root — the serving
+# data point for this PR: a daemon with 4 slots takes 8 concurrent clients
+# submitting a mixed experiment workload (susceptibility / detection /
+# campaign, all tiny scale on a pre-warmed zoo), each client submitting,
+# following the NDJSON event stream to the terminal event and fetching the
+# result document. Recorded per run:
+#   * jobs/sec and HTTP requests/sec over the whole storm,
+#   * p50/p90/p99/max end-to-end job latency (submit -> result bytes),
+#   * the daemon's own /metrics counters (jobs submitted/completed,
+#     queue/slot gauges, zoo trainings),
+#   * graceful-shutdown proof: SIGTERM must end the daemon with exit 130.
+#
+# --smoke (used by scripts/check.sh and CI) runs the same pipeline with a
+# smaller storm and writes the report into the build directory instead,
+# leaving the committed data point untouched.
+#
+# Requires python3 (concurrent client driver + JSON assembly).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+SAFELIGHT="$BUILD_DIR/src/safelight"
+if [[ ! -x "$SAFELIGHT" ]]; then
+  echo "bench_serve: $SAFELIGHT not built" >&2
+  exit 1
+fi
+command -v python3 >/dev/null || { echo "bench_serve: python3 required" >&2; exit 1; }
+
+WORK_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+if [[ "$SMOKE" == "1" ]]; then
+  SLOTS=2
+  QUEUE=32
+  CLIENTS=8
+  JOBS_PER_CLIENT=1
+  OUT_JSON="$BUILD_DIR/bench_serve_smoke.json"
+else
+  SLOTS=4
+  QUEUE=64
+  CLIENTS=8
+  JOBS_PER_CLIENT=3
+  OUT_JSON="BENCH_pr10.json"
+fi
+
+# The serving bench measures the daemon (admission, streaming, slot
+# scheduling), not sweep depth: tiny scale, shared pre-warmed zoo so no
+# client pays one-time model training.
+export SAFELIGHT_SCALE=tiny
+export SAFELIGHT_SEEDS=2
+export SAFELIGHT_ZOO="$WORK_DIR/zoo"
+export SAFELIGHT_OUT="$WORK_DIR/out"
+
+echo "== warm the zoo (train each workload's models once) =="
+for experiment in susceptibility detection campaign; do
+  "$SAFELIGHT" run "$experiment" --model cnn1 >"$WORK_DIR/warm_$experiment.log"
+done
+
+echo "== start daemon (slots=$SLOTS queue=$QUEUE) =="
+"$SAFELIGHT" serve --port 0 --slots "$SLOTS" --queue-depth "$QUEUE" \
+  >"$WORK_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do
+  grep -q "listening on" "$WORK_DIR/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK_DIR/serve.log")"
+if [[ -z "$PORT" ]]; then
+  echo "bench_serve: daemon did not come up" >&2
+  cat "$WORK_DIR/serve.log" >&2
+  exit 1
+fi
+echo "daemon on port $PORT (pid $SERVE_PID)"
+
+echo "== client storm ($CLIENTS clients x $JOBS_PER_CLIENT jobs) =="
+python3 - "$PORT" "$CLIENTS" "$JOBS_PER_CLIENT" "$WORK_DIR/storm.json" <<'PY'
+import http.client, json, sys, threading, time
+
+port, clients, jobs_per_client = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+out_path = sys.argv[4]
+EXPERIMENTS = ["susceptibility", "detection", "campaign"]
+
+lock = threading.Lock()
+latencies = []          # end-to-end seconds per job (submit -> result bytes)
+per_experiment = {}     # experiment -> completed count
+http_requests = [0]
+errors = []
+
+def request(method, target, body=None):
+    with lock:
+        http_requests[0] += 1
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+    headers = {"Connection": "close"}
+    conn.request(method, target, body=body, headers=headers)
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, data
+
+def client(index):
+    for j in range(jobs_per_client):
+        experiment = EXPERIMENTS[(index + j) % len(EXPERIMENTS)]
+        spec = json.dumps({"experiment": experiment, "model": "cnn1"})
+        start = time.monotonic()
+        status, body = request("POST", "/v1/jobs", spec)
+        if status != 202:
+            with lock:
+                errors.append(f"submit {experiment}: {status} {body[:200]!r}")
+            continue
+        job = json.loads(body)["job"]
+        # Follow the NDJSON stream to the terminal event (blocks until the
+        # job ends; every line must be a standalone JSON object).
+        status, stream = request("GET", f"/v1/jobs/{job}/events")
+        terminal = None
+        for line in stream.decode().splitlines():
+            event = json.loads(line)
+            if event["type"] in ("result", "failed", "cancelled"):
+                terminal = event["type"]
+        if terminal != "result":
+            with lock:
+                errors.append(f"job {job} ({experiment}): terminal={terminal}")
+            continue
+        status, result = request("GET", f"/v1/jobs/{job}/result")
+        elapsed = time.monotonic() - start
+        if status != 200 or not result:
+            with lock:
+                errors.append(f"result {job}: {status}")
+            continue
+        with lock:
+            latencies.append(elapsed)
+            per_experiment[experiment] = per_experiment.get(experiment, 0) + 1
+
+wall_start = time.monotonic()
+threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+wall = time.monotonic() - wall_start
+
+status, metrics_body = request("GET", "/metrics")
+metrics = json.loads(metrics_body) if status == 200 else {}
+
+def percentile(values, q):
+    if not values:
+        return None
+    ordered = sorted(values)
+    return round(ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))], 3)
+
+counters = metrics.get("counters", {})
+report = {
+    "clients": clients,
+    "jobs_per_client": jobs_per_client,
+    "jobs_completed": len(latencies),
+    "errors": errors,
+    "wall_seconds": round(wall, 3),
+    "jobs_per_sec": round(len(latencies) / wall, 3) if wall else None,
+    "http_requests": http_requests[0],
+    "requests_per_sec": round(http_requests[0] / wall, 3) if wall else None,
+    "job_latency_seconds": {
+        "p50": percentile(latencies, 0.50),
+        "p90": percentile(latencies, 0.90),
+        "p99": percentile(latencies, 0.99),
+        "max": percentile(latencies, 1.0),
+    },
+    "per_experiment": per_experiment,
+    "daemon_counters": {
+        name: counters.get(name)
+        for name in ("serve.http.requests", "serve.jobs.submitted",
+                     "serve.jobs.completed", "serve.jobs.rejected",
+                     "zoo.trainings")
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+if errors:
+    print("storm errors:", *errors, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print(f"{len(latencies)} jobs in {wall:.1f}s "
+      f"({report['jobs_per_sec']} jobs/s, {report['requests_per_sec']} req/s), "
+      f"p50={report['job_latency_seconds']['p50']}s "
+      f"p99={report['job_latency_seconds']['p99']}s")
+PY
+
+echo "== graceful shutdown (SIGTERM -> 130) =="
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+SERVE_PID=""
+if [[ "$SERVE_RC" != "130" ]]; then
+  echo "bench_serve: daemon exit code $SERVE_RC, expected 130" >&2
+  cat "$WORK_DIR/serve.log" >&2
+  exit 1
+fi
+grep -q "\[serve\] stopped" "$WORK_DIR/serve.log"
+echo "daemon drained and exited 130"
+
+python3 - "$WORK_DIR/storm.json" "$OUT_JSON" "$SLOTS" "$QUEUE" "$SERVE_RC" <<'PY'
+import json, platform, sys
+
+storm_path, out_path, slots, queue, rc = sys.argv[1:6]
+with open(storm_path) as f:
+    storm = json.load(f)
+report = {
+    "schema": "safelight.bench_serve.v1",
+    "pr": 10,
+    "host": {"machine": platform.machine()},
+    "daemon": {
+        "slots": int(slots),
+        "queue_depth": int(queue),
+        "scale": "tiny",
+        "seeds": 2,
+        "graceful_exit_code": int(rc),
+    },
+    "storm": storm,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

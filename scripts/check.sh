@@ -21,11 +21,16 @@
 #    must stay byte-identical, produce a parseable merged Chrome trace
 #    with coordinator + worker tracks, and a schema-valid metrics JSON;
 #    both land in the CI artifact bundle.
+# 7. serve smoke: `safelight list --json` schema check, then a daemon on
+#    an ephemeral port driven with curl — submit, NDJSON event stream,
+#    GET /result byte-identical to the run-all JSON document, 400 on an
+#    unknown spec field, cooperative DELETE, SIGTERM -> exit 130 — plus
+#    the bench_serve --smoke concurrent-client storm.
 # Ends with a per-phase wall-time summary. CI uploads $SMOKE_DIR/out as
 # the experiment artifact bundle (see .github/workflows/ci.yml).
 #
 # SAFELIGHT_SANITIZE=ON builds with ASan+UBSan and runs the unit,
-# integration, fault and dist ctest shards only: the sweep-smoke shard and
+# integration, fault, dist and serve ctest shards only: the sweep-smoke shard and
 # the CLI/bench smokes re-cover the same code paths at ~10x sanitizer
 # cost, and the fault/dist harnesses' child processes inherit the
 # instrumentation.
@@ -66,9 +71,9 @@ phase_end
 # and cheap shards fail fast before the sweep-driving ones start. The
 # fault shard pulls the plug on child `safelight` processes and proves the
 # crash-resume contract (docs/testing.md).
-SHARDS=(unit integration sweep-smoke fault dist)
+SHARDS=(unit integration sweep-smoke fault dist serve)
 if [[ "$SANITIZE" == "ON" ]]; then
-  SHARDS=(unit integration fault dist)
+  SHARDS=(unit integration fault dist serve)
 fi
 for shard in "${SHARDS[@]}"; do
   phase_start "ctest ($shard)"
@@ -77,7 +82,7 @@ for shard in "${SHARDS[@]}"; do
 done
 # Every test must belong to exactly one shard; an unlabelled test would
 # silently never run above.
-UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke|fault|dist)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
+UNLABELLED=$(ctest --test-dir "$BUILD_DIR" -LE '^(unit|integration|sweep-smoke|fault|dist|serve)$' -N | grep -E '^Total Tests:' | awk '{print $3}')
 if [[ "$UNLABELLED" != "0" ]]; then
   echo "error: $UNLABELLED ctest case(s) carry no shard label" >&2
   exit 1
@@ -218,6 +223,84 @@ else
 fi
 phase_end
 
+phase_start "serve smoke (daemon, curl, byte-identity)"
+# The machine-readable listing `safelight serve` clients script against.
+"$SAFELIGHT" list --json >"$SMOKE_DIR/list.json"
+if command -v python3 >/dev/null; then
+  python3 - "$SMOKE_DIR/list.json" <<'EOF'
+import json, sys
+listing = json.load(open(sys.argv[1]))
+names = [e["name"] for e in listing["experiments"]]
+assert names == ["susceptibility", "mitigation", "robust_compare",
+                 "detection", "campaign"], names
+assert "experiment" in listing["spec_fields"], listing["spec_fields"]
+assert "cache_dir" not in listing["spec_fields"], listing["spec_fields"]
+print(f"list --json: {len(names)} experiments, "
+      f"{len(listing['spec_fields'])} spec fields")
+EOF
+fi
+if command -v curl >/dev/null; then
+  # Daemon on an ephemeral port against the warm smoke zoo; the serving
+  # contract under test: HTTP result bytes == the run-all JSON document
+  # already produced above for the same spec under the same environment.
+  "$SAFELIGHT" serve --port 0 --slots 2 >"$SMOKE_DIR/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 100); do
+    grep -q "listening on" "$SMOKE_DIR/serve.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SMOKE_DIR/serve.log")"
+  BASE="http://127.0.0.1:$PORT"
+  curl -fsS "$BASE/healthz" | grep -q '"status": "ok"'
+
+  # Bad specs answer 400 with the actionable unknown-field message.
+  CODE=$(curl -s -o "$SMOKE_DIR/serve_bad.json" -w '%{http_code}' \
+         -X POST "$BASE/v1/jobs" -d '{"experiment":"susceptibility","seedz":3}')
+  [[ "$CODE" == "400" ]]
+  grep -q "unknown field 'seedz'" "$SMOKE_DIR/serve_bad.json"
+
+  # Submit, follow the NDJSON stream to the terminal event, fetch result.
+  JOB=$(curl -fsS -X POST "$BASE/v1/jobs" \
+        -d '{"experiment":"susceptibility","model":"cnn1"}' \
+        | tr -d '\n' | sed -n 's/.*"job": "\([^"]*\)".*/\1/p')
+  [[ -n "$JOB" ]]
+  curl -fsS "$BASE/v1/jobs/$JOB/events" >"$SMOKE_DIR/serve_events.ndjson"
+  head -1 "$SMOKE_DIR/serve_events.ndjson" | grep -q '"type":"queued"'
+  tail -1 "$SMOKE_DIR/serve_events.ndjson" | grep -q '"type":"result"'
+  curl -fsS "$BASE/v1/jobs/$JOB/result" >"$SMOKE_DIR/serve_result.json"
+  cmp "$SMOKE_DIR/serve_result.json" "$SMOKE_DIR/out/susceptibility_cnn1.json"
+  echo "serve result byte-identical to run --json output"
+
+  # Second tenant: submit + cooperative DELETE must terminalize the job.
+  JOB2=$(curl -fsS -X POST "$BASE/v1/jobs" -d '{"experiment":"campaign"}' \
+         | tr -d '\n' | sed -n 's/.*"job": "\([^"]*\)".*/\1/p')
+  curl -fsS -X DELETE "$BASE/v1/jobs/$JOB2" >/dev/null
+  for _ in $(seq 100); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$JOB2" | tr -d '\n' \
+            | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [[ "$STATE" == "cancelled" || "$STATE" == "done" ]] && break
+    sleep 0.1
+  done
+  [[ "$STATE" == "cancelled" || "$STATE" == "done" ]]
+  curl -fsS "$BASE/metrics" | grep -q '"serve.jobs.submitted": 2'
+
+  # Graceful drain: SIGTERM -> cancel running slots, flush stores, exit 130.
+  kill -TERM "$SERVE_PID"
+  SERVE_RC=0
+  wait "$SERVE_PID" || SERVE_RC=$?
+  [[ "$SERVE_RC" == "130" ]]
+  grep -q '\[serve\] stopped' "$SMOKE_DIR/serve.log"
+  echo "daemon drained on SIGTERM (exit $SERVE_RC)"
+else
+  echo "curl missing: serve HTTP smoke skipped"
+fi
+if command -v python3 >/dev/null; then
+  # The concurrent-client storm (8 mixed-experiment tenants) end to end.
+  scripts/bench_serve.sh --smoke "$BUILD_DIR"
+  test -s "$BUILD_DIR/bench_serve_smoke.json"
+fi
+phase_end
+
 # Preserve the artifact bundle for CI upload (the EXIT trap removes
 # $SMOKE_DIR; CI points SAFELIGHT_ARTIFACT_DIR somewhere persistent).
 if [[ -n "${SAFELIGHT_ARTIFACT_DIR:-}" ]]; then
@@ -231,6 +314,13 @@ if [[ -n "${SAFELIGHT_ARTIFACT_DIR:-}" ]]; then
   # Merged fleet trace + metrics from the telemetry smoke: load trace.json
   # in https://ui.perfetto.dev to inspect the CI run.
   cp "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json" "$SAFELIGHT_ARTIFACT_DIR/"
+  # Serving smoke evidence: daemon log (startup, drain), the NDJSON event
+  # stream, the byte-identity result document, and the client-storm report.
+  mkdir -p "$SAFELIGHT_ARTIFACT_DIR/serve"
+  cp "$SMOKE_DIR/serve.log" "$SMOKE_DIR/serve_events.ndjson" \
+     "$SMOKE_DIR/serve_result.json" "$SAFELIGHT_ARTIFACT_DIR/serve/" 2>/dev/null || true
+  cp "$BUILD_DIR/bench_serve_smoke.json" "$SAFELIGHT_ARTIFACT_DIR/serve/" 2>/dev/null || true
+  cp BENCH_pr10.json "$SAFELIGHT_ARTIFACT_DIR/serve/" 2>/dev/null || true
 fi
 
 # Bench smoke: microbench (kernel + reference GEMM) and a timed sweep with

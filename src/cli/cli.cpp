@@ -26,6 +26,7 @@
 #include "dist/plan.hpp"
 #include "dist/worker.hpp"
 #include "nn/backend.hpp"
+#include "serve/server.hpp"
 
 namespace safelight::cli {
 
@@ -35,9 +36,13 @@ constexpr const char* kUsage =
     "usage: safelight <command> [flags]\n"
     "\n"
     "commands:\n"
-    "  list                 registered experiments\n"
+    "  list [--json]        registered experiments (--json: machine-readable\n"
+    "                       listing with the accepted spec fields)\n"
     "  run <experiment>     run one experiment over the paper models\n"
     "  run-all              run every registered experiment in one process\n"
+    "  serve                long-running multi-tenant daemon: submit\n"
+    "                       ExperimentSpec JSON over HTTP, stream NDJSON\n"
+    "                       progress (docs/architecture.md \"Serving\")\n"
     "  worker               internal: distributed sweep worker (spawned by\n"
     "                       'run --workers N', speaks NDJSON on stdin/stdout)\n"
     "  help                 this text\n"
@@ -56,6 +61,13 @@ constexpr const char* kUsage =
     "                       way, only speed changes\n"
     "  --json               also write per-(experiment, model) JSON\n"
     "  --verbose            per-scenario progress output\n"
+    "\n"
+    "serving (safelight serve):\n"
+    "  --port <N>           TCP port on 127.0.0.1 (0 = ephemeral; the bound\n"
+    "                       port prints on startup)\n"
+    "  --slots <N>          concurrent experiment slots\n"
+    "  --queue-depth <N>    jobs allowed to wait beyond the running ones\n"
+    "                       before new submissions get 429\n"
     "\n"
     "distributed execution (docs/architecture.md):\n"
     "  --workers <N>        shard sweeps across N worker subprocesses\n"
@@ -189,6 +201,17 @@ CliOptions parse_flags(const std::vector<std::string>& args,
       const std::string& name = value();
       nn::backend::resolve(name);  // reject typos/unsupported at the boundary
       overrides.backend = name;
+    } else if (flag == "--port") {
+      const std::uint64_t port = nonnegative_int(flag, value());
+      require(port <= 65535,
+              "flag --port must be in [0, 65535] (got " +
+                  std::to_string(port) + "); 0 binds an ephemeral port");
+      overrides.serve_port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--slots") {
+      overrides.serve_slots = positive_int(flag, value());
+    } else if (flag == "--queue-depth") {
+      overrides.serve_queue_depth =
+          static_cast<std::size_t>(nonnegative_int(flag, value()));
     } else if (flag == "--workers") {
       overrides.workers =
           static_cast<std::size_t>(nonnegative_int(flag, value()));
@@ -407,7 +430,14 @@ void print_timing(const core::ExperimentResult& result) {
 // Commands
 // ---------------------------------------------------------------------------
 
-int cmd_list() {
+int cmd_list(bool json) {
+  if (json) {
+    // Machine-readable twin of the table below: names, summaries, CSV
+    // stems and the spec fields POST /v1/jobs accepts (schema-pinned in
+    // experiment_test).
+    std::printf("%s", core::registry_listing_json().c_str());
+    return 0;
+  }
   const auto& registry = core::ExperimentRegistry::global();
   core::TextTable table({"experiment", "summary", "seeds", "csv files"});
   for (const std::string& name : registry.names()) {
@@ -587,6 +617,24 @@ int cmd_run(const std::vector<std::string>& experiments,
   return any_quarantine ? 3 : 0;
 }
 
+/// `safelight serve`: the resident multi-tenant daemon. One shared zoo,
+/// N slots, an HTTP/NDJSON front end (src/serve); SIGINT/SIGTERM drain
+/// gracefully through the same ScopedCancelScope flag the sweeps poll.
+int cmd_serve(const CliOptions& options) {
+  // GET /metrics must answer even without --metrics <file>: arm bare
+  // collection, but never clobber an output file the flags installed.
+  if (!metrics::armed()) metrics::arm_collection();
+  serve::ServeOptions serve_options;
+  serve_options.port = config::serve_port();
+  serve_options.slots = config::serve_slots();
+  serve_options.queue_depth = config::serve_queue_depth();
+  serve_options.zoo_dir = config::zoo_dir();
+  serve_options.stop = &g_cancel_requested;
+  serve_options.verbose = options.verbose;
+  serve::Server server(serve_options);
+  return server.serve();
+}
+
 /// `safelight worker`: the coordinator-spawned end of the distributed
 /// protocol. stdin carries task commands, the *original* stdout carries
 /// events; stdout is re-pointed at stderr immediately so stray prints from
@@ -686,8 +734,13 @@ int run(const std::vector<std::string>& args) {
     }
     const std::string& command = args[0];
     if (command == "list") {
-      require(args.size() == 1, "'safelight list' takes no flags");
-      return cmd_list();
+      require(args.size() == 1 || (args.size() == 2 && args[1] == "--json"),
+              "'safelight list' takes no flags except --json");
+      return cmd_list(args.size() == 2);
+    }
+    if (command == "serve") {
+      const CliOptions options = parse_flags(args, 1);
+      return cmd_serve(options);
     }
     if (command == "run") {
       require(args.size() >= 2 && args[1].rfind("--", 0) != 0,

@@ -193,4 +193,31 @@ std::string backend() {
   return env_string("SAFELIGHT_BACKEND", "auto");
 }
 
+std::uint16_t serve_port() {
+  if (mutable_overrides().serve_port) return *mutable_overrides().serve_port;
+  const std::int64_t v = strict_env_int("SAFELIGHT_SERVE_PORT").value_or(8080);
+  require(v >= 0 && v <= 65535,
+          "SAFELIGHT_SERVE_PORT must be in [0, 65535] (got " +
+              std::to_string(v) + "); 0 binds an ephemeral port");
+  return static_cast<std::uint16_t>(v);
+}
+
+std::size_t serve_slots() {
+  if (mutable_overrides().serve_slots) return *mutable_overrides().serve_slots;
+  const std::int64_t v = strict_env_int("SAFELIGHT_SERVE_SLOTS").value_or(2);
+  require(v >= 1, "SAFELIGHT_SERVE_SLOTS must be >= 1 (got " +
+                      std::to_string(v) + "); the daemon needs a slot to run");
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t serve_queue_depth() {
+  if (mutable_overrides().serve_queue_depth) {
+    return *mutable_overrides().serve_queue_depth;
+  }
+  const std::int64_t v = strict_env_int("SAFELIGHT_SERVE_QUEUE").value_or(4);
+  require(v >= 0, "SAFELIGHT_SERVE_QUEUE must be >= 0 (got " +
+                      std::to_string(v) + "); 0 disables queuing");
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace safelight::config

@@ -37,6 +37,11 @@
 //                                        (empty = metrics disarmed)
 //   backend()      SAFELIGHT_BACKEND     gemm compute backend: "auto" or a
 //                                        variant name (nn/backend.hpp)
+//   serve_port()   SAFELIGHT_SERVE_PORT  `safelight serve` TCP port
+//                                        (0 = ephemeral)
+//   serve_slots()  SAFELIGHT_SERVE_SLOTS concurrent experiment slots
+//   serve_queue_depth() SAFELIGHT_SERVE_QUEUE  jobs allowed to wait beyond
+//                                        the running ones before 429
 #pragma once
 
 #include <cstddef>
@@ -66,6 +71,9 @@ struct Overrides {
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
   std::optional<std::string> backend;
+  std::optional<std::uint16_t> serve_port;
+  std::optional<std::size_t> serve_slots;
+  std::optional<std::size_t> serve_queue_depth;
 };
 
 /// Installs `overrides` as the process-wide CLI layer (replacing any
@@ -160,6 +168,20 @@ std::string metrics_path();
 /// verbatim; nn::backend::resolve rejects unknown or unsupported names
 /// with the registered-variant list.
 std::string backend();
+
+/// `safelight serve` TCP port: CLI > SAFELIGHT_SERVE_PORT > 8080.
+/// 0 binds an ephemeral port (tests, CI smoke); values > 65535 are
+/// rejected.
+std::uint16_t serve_port();
+
+/// Concurrent experiment slots of the serve daemon:
+/// CLI > SAFELIGHT_SERVE_SLOTS > 2. Must be >= 1.
+std::size_t serve_slots();
+
+/// Jobs allowed to wait beyond the running ones before the daemon answers
+/// 429: CLI > SAFELIGHT_SERVE_QUEUE > 4. 0 disables queuing (admission
+/// only while a slot is free).
+std::size_t serve_queue_depth();
 
 /// Strict numeric env reads shared by every numeric knob above (and by the
 /// CLI's worker path): unset/empty -> nullopt; a value that is not

@@ -242,6 +242,36 @@ class ExperimentRegistry {
   std::vector<ExperimentInfo> experiments_;  // registration order
 };
 
+// ---------------------------------------------------------------------------
+// JSON ingestion / listing (src/core/experiment_json.cpp) — the scripting
+// surface shared by `safelight serve` (POST /v1/jobs bodies) and
+// `safelight list --json`.
+// ---------------------------------------------------------------------------
+
+/// Parses an ExperimentSpec from a JSON object, e.g.
+/// {"experiment":"susceptibility","model":"cnn1","seed_count":3}.
+///
+/// Field names match ExperimentResult::to_json()'s spec header (experiment,
+/// model, scale, seed_count, base_seed) plus the scalar knobs (variant,
+/// robust_variant, l2_strength, clean_runs, max_workers, verbose). Absent
+/// fields resolve exactly like `safelight run`: registry defaults, then the
+/// SAFELIGHT_* env / CLI-override chain — so a spec submitted over HTTP to a
+/// daemon started under the same environment produces a byte-identical
+/// result document. cache_dir is deliberately NOT accepted: the caller
+/// (serve's Slot, the CLI) owns store placement.
+///
+/// Strict by design: a malformed document, an unknown field, a type
+/// mismatch, an unknown experiment/model/scale/variant name or an invalid
+/// value all throw std::invalid_argument with an actionable message (the
+/// CLI's exit-2 convention; serve answers 400 with the same text).
+ExperimentSpec spec_from_json(const std::string& text);
+
+/// Machine-readable registry listing (`safelight list --json`): every
+/// registered experiment's name, summary, default seed count and CSV file
+/// stems, plus the spec_from_json() field names under "spec_fields".
+/// Deterministic pretty JSON, trailing newline included.
+std::string registry_listing_json();
+
 // Spec-driven runners of the five built-in experiments (the registry's run
 // functions; the legacy run_* signatures shim onto these through the
 // registry). Defined next to each sweep's internals.

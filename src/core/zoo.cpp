@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/fingerprint.hpp"
+#include "common/metrics.hpp"
 #include "nn/serialize.hpp"
 
 namespace safelight::core {
@@ -59,10 +60,19 @@ bool ModelZoo::has_entry(const ExperimentSetup& setup,
   return nn::model_file_matches(*model, entry_path(setup, variant));
 }
 
+std::mutex& ModelZoo::entry_lock(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return entry_locks_[path];  // std::map nodes are stable across inserts
+}
+
 std::unique_ptr<nn::Sequential> ModelZoo::get_or_train(
     const ExperimentSetup& setup, const VariantSpec& variant, bool verbose) {
   auto model = nn::make_model(setup.model, setup.model_config);
   const std::string path = entry_path(setup, variant);
+  // Per-entry serialization: under concurrent callers (serve slots) the
+  // first one through trains and saves; the rest block here and then take
+  // the cache-hit branch. Distinct entries proceed in parallel.
+  std::lock_guard<std::mutex> train_once(entry_lock(path));
   if (nn::model_file_matches(*model, path)) {
     nn::load_model(*model, path);
     return model;
@@ -73,6 +83,10 @@ std::unique_ptr<nn::Sequential> ModelZoo::get_or_train(
                 variant.name.c_str());
     std::fflush(stdout);
   }
+  // Counts *actual* trainings (cache hits skip this) — the train-exactly-
+  // once stress test asserts it stays at one per entry under contention.
+  static metrics::Counter& trainings = metrics::counter("zoo.trainings");
+  trainings.add();
   const nn::Dataset train = make_train_data(setup);
   const nn::Dataset test = make_test_data(setup);
   nn::TrainConfig config = apply_variant(setup.base_train, variant);

@@ -6,9 +6,20 @@
 // batch-norm running statistics and is integrity-checked on load, so a
 // corrupt or architecture-mismatched file triggers retraining instead of
 // silent misbehaviour.
+//
+// Thread safety: one ModelZoo may be shared by concurrent experiment runs
+// (the `safelight serve` slots all train through one zoo). get_or_train
+// serializes per entry — the first caller of a missing (setup, variant)
+// trains and saves it exactly once while every other caller of that entry
+// waits and then loads the cached bytes; callers of *different* entries
+// never block each other. Training is deterministic, so the cached weights
+// are bitwise-identical whether the entry was produced under contention or
+// sequentially (stress-tested in serve_test).
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/experiment_scale.hpp"
@@ -29,7 +40,9 @@ class ModelZoo {
                          const VariantSpec& variant) const;
 
   /// Loads the cached model or trains + caches it. The returned model is in
-  /// its clean (un-conditioned, un-attacked) trained state.
+  /// its clean (un-conditioned, un-attacked) trained state. Safe to call
+  /// concurrently; each entry trains at most once per process (the
+  /// "zoo.trainings" metrics counter counts actual trainings).
   std::unique_ptr<nn::Sequential> get_or_train(const ExperimentSetup& setup,
                                                const VariantSpec& variant,
                                                bool verbose = false);
@@ -38,7 +51,12 @@ class ModelZoo {
   bool has_entry(const ExperimentSetup& setup, const VariantSpec& variant);
 
  private:
+  /// The per-entry train-once lock, created on first use.
+  std::mutex& entry_lock(const std::string& path);
+
   std::string directory_;
+  std::mutex mutex_;  // guards entry_locks_ (node handles stay stable)
+  std::map<std::string, std::mutex> entry_locks_;
 };
 
 }  // namespace safelight::core

@@ -1,0 +1,267 @@
+#include "serve/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace safelight::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+std::string lowercase(std::string text) {
+  for (char& c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return text;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& lower_name) const {
+  const auto it = headers.find(lower_name);
+  return it == headers.end() ? "" : it->second;
+}
+
+std::string status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpRequest parse_request_head(const std::string& head) {
+  HttpRequest request;
+  std::size_t pos = 0;
+  const auto next_line = [&]() -> std::optional<std::string> {
+    if (pos >= head.size()) return std::nullopt;
+    const std::size_t eol = head.find('\n', pos);
+    std::string line = head.substr(pos, eol == std::string::npos
+                                            ? std::string::npos
+                                            : eol - pos);
+    pos = eol == std::string::npos ? head.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+
+  const auto request_line = next_line();
+  if (!request_line || request_line->empty()) {
+    throw HttpError(400, "empty request line");
+  }
+  const std::size_t sp1 = request_line->find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line->find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line->find(' ', sp2 + 1) != std::string::npos) {
+    throw HttpError(400, "malformed request line '" + *request_line + "'");
+  }
+  request.method = request_line->substr(0, sp1);
+  request.target = request_line->substr(sp1 + 1, sp2 - sp1 - 1);
+  request.version = request_line->substr(sp2 + 1);
+  if (request.method.empty() || request.target.empty() ||
+      request.version.rfind("HTTP/", 0) != 0) {
+    throw HttpError(400, "malformed request line '" + *request_line + "'");
+  }
+
+  while (const auto line = next_line()) {
+    if (line->empty()) break;  // blank line = end of head
+    const std::size_t colon = line->find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw HttpError(400, "malformed header line '" + *line + "'");
+    }
+    request.headers[lowercase(trim(line->substr(0, colon)))] =
+        trim(line->substr(colon + 1));
+  }
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// HttpConnection
+// ---------------------------------------------------------------------------
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+HttpConnection::HttpConnection(HttpConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+std::optional<HttpRequest> HttpConnection::read_request() {
+  // Accumulate until the head terminator; the buffer may already hold bytes
+  // from a previous read on a keep-alive-ish client.
+  std::size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer_.size() > kMaxHeadBytes) {
+      throw HttpError(431, "request head exceeds " +
+                               std::to_string(kMaxHeadBytes) + " bytes");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      throw HttpError(400, "recv failed: " + std::string(strerror(errno)));
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return std::nullopt;  // clean peer close
+      throw HttpError(400, "connection closed mid-request");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  HttpRequest request = parse_request_head(buffer_.substr(0, head_end + 2));
+  buffer_.erase(0, head_end + 4);
+
+  const std::string length_text = request.header("content-length");
+  if (!length_text.empty()) {
+    const bool digits_only =
+        length_text.find_first_not_of("0123456789") == std::string::npos &&
+        length_text.size() <= 9;
+    if (!digits_only) {
+      throw HttpError(400, "bad Content-Length '" + length_text + "'");
+    }
+    const std::size_t length = std::stoul(length_text);
+    if (length > kMaxBodyBytes) {
+      throw HttpError(413, "request body exceeds " +
+                               std::to_string(kMaxBodyBytes) + " bytes");
+    }
+    while (buffer_.size() < length) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) throw HttpError(400, "connection closed mid-body");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    request.body = buffer_.substr(0, length);
+    buffer_.erase(0, length);
+  }
+  return request;
+}
+
+bool HttpConnection::send_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;  // peer went away; the caller stops streaming
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool HttpConnection::write_response(int status,
+                                    const std::string& content_type,
+                                    const std::string& body,
+                                    const std::string& extra_header) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     status_reason(status) + "\r\n";
+  head += "Content-Type: " + content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (!extra_header.empty()) head += extra_header + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  return send_all(head.data(), head.size()) &&
+         send_all(body.data(), body.size());
+}
+
+bool HttpConnection::begin_stream(int status,
+                                  const std::string& content_type) {
+  const std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                           status_reason(status) +
+                           "\r\nContent-Type: " + content_type +
+                           "\r\nConnection: close\r\n\r\n";
+  return send_all(head.data(), head.size());
+}
+
+bool HttpConnection::stream_write(const std::string& chunk) {
+  return send_all(chunk.data(), chunk.size());
+}
+
+bool HttpConnection::peer_alive() const {
+  struct pollfd probe = {fd_, POLLIN, 0};
+  if (::poll(&probe, 1, 0) <= 0) return true;  // nothing readable: alive
+  if ((probe.revents & (POLLHUP | POLLERR)) != 0) return false;
+  // Readable: distinguish pipelined bytes from EOF without consuming.
+  char byte;
+  const ssize_t n = ::recv(fd_, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  return n != 0;
+}
+
+// ---------------------------------------------------------------------------
+// HttpListener
+// ---------------------------------------------------------------------------
+
+HttpListener::HttpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = "serve: cannot bind 127.0.0.1:" +
+                             std::to_string(port) + " (" + strerror(errno) +
+                             ")";
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(what);
+  }
+  if (::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve: listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+}
+
+HttpListener::~HttpListener() { close(); }
+
+int HttpListener::accept_once(int timeout_ms) {
+  if (fd_ < 0) return -1;
+  struct pollfd waiter = {fd_, POLLIN, 0};
+  const int ready = ::poll(&waiter, 1, timeout_ms);
+  if (ready <= 0) return -1;
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+void HttpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace safelight::serve

@@ -1,0 +1,128 @@
+// Minimal HTTP/1.1 layer of the `safelight serve` daemon.
+//
+// The serving front end needs exactly four things from HTTP: parse one
+// request (line + headers + Content-Length body), write one complete
+// response, write an unbounded NDJSON stream (progress events flushed line
+// by line until the job ends), and accept connections until told to drain.
+// This module provides those four on raw POSIX sockets — no third-party
+// dependency, same policy as the dist layer's hand-rolled NDJSON protocol.
+//
+// Strictness follows the house rule: a malformed request line, an
+// oversized head/body or a bad Content-Length throws HttpError with the
+// status code the handler should answer with (400/413/431), never a silent
+// best-effort parse. Parsing is exposed as a pure function over the raw
+// head bytes (parse_request_head) so tests cover it without sockets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace safelight::serve {
+
+/// Thrown by request reading/parsing; `status` is the HTTP answer the
+/// connection should send (400 malformed, 413 body too large, 431 head too
+/// large).
+class HttpError : public std::runtime_error {
+ public:
+  HttpError(int status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// One parsed request. Header names are lower-cased (HTTP headers are
+/// case-insensitive); values keep their bytes with surrounding whitespace
+/// trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", "DELETE", ...
+  std::string target;   // origin-form path, e.g. "/v1/jobs/j1/events"
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value, or "" when absent (names are stored lower-cased).
+  std::string header(const std::string& lower_name) const;
+};
+
+/// Canonical reason phrase of the status codes the daemon emits; "Unknown"
+/// otherwise.
+std::string status_reason(int status);
+
+/// Parses the request head — everything before the blank line, without the
+/// body — into method/target/version/headers. Throws HttpError(400) on a
+/// malformed request line or header.
+HttpRequest parse_request_head(const std::string& head);
+
+/// One accepted connection; owns the fd and closes it on destruction.
+/// Writes use MSG_NOSIGNAL so a client that went away surfaces as a false
+/// return, never as SIGPIPE.
+class HttpConnection {
+ public:
+  explicit HttpConnection(int fd) : fd_(fd) {}
+  ~HttpConnection();
+  HttpConnection(HttpConnection&& other) noexcept;
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Reads one full request (head + Content-Length body). Returns nullopt
+  /// when the peer closed before sending anything; throws HttpError on a
+  /// malformed or oversized request (caps: 64 KiB head, 1 MiB body).
+  std::optional<HttpRequest> read_request();
+
+  /// Writes one complete response with Content-Length and
+  /// "Connection: close". Returns false when the peer is gone.
+  bool write_response(int status, const std::string& content_type,
+                      const std::string& body,
+                      const std::string& extra_header = "");
+
+  /// Starts a close-delimited streaming response (no Content-Length; the
+  /// stream ends when the connection closes). Follow with stream_write.
+  bool begin_stream(int status, const std::string& content_type);
+
+  /// Writes one chunk of an active stream; false when the peer is gone.
+  bool stream_write(const std::string& chunk);
+
+  /// True while the peer has not closed its end (poll + MSG_PEEK probe);
+  /// lets a streaming handler stop waiting on events nobody will read.
+  bool peer_alive() const;
+
+  int fd() const { return fd_; }
+
+ private:
+  bool send_all(const char* data, std::size_t size);
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the current request
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 binds an ephemeral port;
+/// port() reports the actual one. Construction throws std::runtime_error
+/// when the bind fails (port taken, privileged port).
+class HttpListener {
+ public:
+  explicit HttpListener(std::uint16_t port);
+  ~HttpListener();
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection; returns the accepted fd or
+  /// -1 on timeout (the serve loop's drain-poll cadence).
+  int accept_once(int timeout_ms);
+
+  /// Closes the listening socket (no further accepts; in-flight
+  /// connections are unaffected).
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace safelight::serve
